@@ -1,0 +1,415 @@
+// Package sdb holds the repository-level benchmark harness: one benchmark
+// per experiment in DESIGN.md §3. Run with
+//
+//	go test -bench=. -benchmem
+//
+// E5/E6 sweep the secure operators over modulus widths (the paper uses
+// 2048-bit; §2.1 fn. 3). E3 reports the client/server cost split the demo
+// shows in step 2. E7 compares SDB against the ship-everything baseline.
+// E9 runs the TPC-H subset end-to-end against a plaintext engine.
+package sdb
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"sync"
+	"testing"
+
+	"sdb/internal/baseline"
+	"sdb/internal/baseline/paillier"
+	"sdb/internal/baseline/shipall"
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/sqlparser"
+	"sdb/internal/storage"
+	"sdb/internal/tpch"
+)
+
+// opFixture holds per-modulus-width operator state.
+type opFixture struct {
+	s    *secure.Secret
+	ckA  secure.ColumnKey
+	ckB  secure.ColumnKey
+	flat secure.ColumnKey
+	rid  secure.RowID
+	w    *big.Int
+	ae   *big.Int
+	be   *big.Int
+}
+
+var (
+	opFixtures   = map[int]*opFixture{}
+	opFixtureMu  sync.Mutex
+	modulusSweep = []int{256, 512, 1024, 2048}
+)
+
+func fixture(b *testing.B, bits int) *opFixture {
+	b.Helper()
+	opFixtureMu.Lock()
+	defer opFixtureMu.Unlock()
+	if f, ok := opFixtures[bits]; ok {
+		return f
+	}
+	s, err := secure.Setup(bits, 62, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &opFixture{s: s}
+	f.ckA, _ = s.NewColumnKey()
+	f.ckB, _ = s.NewColumnKey()
+	f.flat, _ = s.FlatKey()
+	f.rid, _ = s.NewRowID()
+	f.w = s.RowHelper(f.rid)
+	f.ae, _ = s.EncryptInt64(123456, f.rid, f.ckA)
+	f.be, _ = s.EncryptInt64(-9876, f.rid, f.ckB)
+	opFixtures[bits] = f
+	return f
+}
+
+// BenchmarkOpMultiply is experiment E5: the paper's sdb_multiply is one
+// modular multiplication per row at the SP.
+func BenchmarkOpMultiply(b *testing.B) {
+	for _, bits := range modulusSweep {
+		f := fixture(b, bits)
+		b.Run(fmt.Sprintf("n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				secure.Multiply(f.ae, f.be, f.s.N())
+			}
+		})
+	}
+}
+
+// BenchmarkOpSuite is experiment E6: the remaining operator costs per row.
+func BenchmarkOpSuite(b *testing.B) {
+	for _, bits := range modulusSweep {
+		f := fixture(b, bits)
+		n := f.s.N()
+		tokUpdate, _ := f.s.KeyUpdateToken(f.ckA, f.ckB)
+		tokFlat, _ := f.s.KeyUpdateToken(f.ckA, f.flat)
+
+		b.Run(fmt.Sprintf("encrypt/n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.s.EncryptInt64(424242, f.rid, f.ckA); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decrypt/n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.s.Decrypt(f.ae, f.rid, f.ckA)
+			}
+		})
+		b.Run(fmt.Sprintf("keyupdate/n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				secure.ApplyToken(tokUpdate, f.ae, f.w, n)
+			}
+		})
+		b.Run(fmt.Sprintf("flatten/n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				secure.ApplyToken(tokFlat, f.ae, f.w, n)
+			}
+		})
+		b.Run(fmt.Sprintf("addsamekey/n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				secure.AddShares(f.ae, f.ae, n)
+			}
+		})
+		b.Run(fmt.Sprintf("tokengen/n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.s.KeyUpdateToken(f.ckA, f.ckB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOpCompare times the full comparison protocol per row (key
+// update + subtract + mask multiply + reveal + sign).
+func BenchmarkOpCompare(b *testing.B) {
+	for _, bits := range modulusSweep {
+		f := fixture(b, bits)
+		n := f.s.N()
+		half := new(big.Int).Rsh(n, 1)
+		tokB, _ := f.s.KeyUpdateToken(f.ckB, f.ckA)
+		mask, _ := f.s.NewMaskValue()
+		ckR, _ := f.s.NewColumnKey()
+		me, _ := f.s.EncryptMask(mask, f.rid, ckR)
+		rev, _ := f.s.RevealToken(f.s.MulKeys(f.ckA, ckR))
+		b.Run(fmt.Sprintf("n=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				diff := secure.SubShares(f.ae, secure.ApplyToken(tokB, f.be, f.w, n), n)
+				masked := secure.Multiply(diff, me, n)
+				secure.MaskedSign(secure.ApplyToken(rev, masked, f.w, n), half)
+			}
+		})
+	}
+}
+
+// BenchmarkPaillierVsSDBSum is the aggregation ablation: SDB's flat-share
+// SUM is one modular add per row; Paillier (the CryptDB HOM onion) is one
+// multiplication modulo n² per row.
+func BenchmarkPaillierVsSDBSum(b *testing.B) {
+	f := fixture(b, 1024)
+	n := f.s.N()
+	tag, _ := f.s.EncryptInt64(1234, f.rid, f.ckA) // stand-in share
+	b.Run("sdb-share-add/n=1024", func(b *testing.B) {
+		acc := new(big.Int)
+		for i := 0; i < b.N; i++ {
+			acc.Add(acc, tag)
+			acc.Mod(acc, n)
+		}
+	})
+	sk, err := paillier.GenerateKey(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := sk.Encrypt(big.NewInt(1234))
+	b.Run("paillier-ct-mul/n=1024", func(b *testing.B) {
+		acc := new(big.Int).Set(c)
+		for i := 0; i < b.N; i++ {
+			acc = sk.Add(acc, c)
+		}
+	})
+}
+
+// ---- end-to-end fixtures: an SDB deployment and a plaintext deployment
+// over the same generated TPC-H data.
+
+type e2eFixture struct {
+	sdb   *proxy.Proxy
+	plain *proxy.Proxy
+}
+
+var (
+	e2eOnce sync.Once
+	e2e     *e2eFixture
+	e2eErr  error
+)
+
+func e2eSetup(b *testing.B) *e2eFixture {
+	b.Helper()
+	e2eOnce.Do(func() {
+		secret, err := secure.Setup(512, 62, 80)
+		if err != nil {
+			e2eErr = err
+			return
+		}
+		spEng := engine.New(storage.NewCatalog(), secret.N())
+		p, err := proxy.New(secret, spEng)
+		if err != nil {
+			e2eErr = err
+			return
+		}
+		plainEng := engine.New(storage.NewCatalog(), nil)
+		pp, err := proxy.New(secret, plainEng)
+		if err != nil {
+			e2eErr = err
+			return
+		}
+		for _, ddl := range tpch.CreateStatements() {
+			if _, err := p.Exec(ddl); err != nil {
+				e2eErr = err
+				return
+			}
+			stmt, _ := sqlparser.Parse(ddl)
+			ct := stmt.(*sqlparser.CreateTable)
+			for i := range ct.Cols {
+				ct.Cols[i].Type.Sensitive = false
+			}
+			if _, err := pp.Exec(ct.String()); err != nil {
+				e2eErr = err
+				return
+			}
+		}
+		e2eErr = tpch.Generate(tpch.Config{ScaleFactor: 0.0004, Seed: 7}, func(sql string) error {
+			if _, err := p.Exec(sql); err != nil {
+				return err
+			}
+			_, err := pp.Exec(sql)
+			return err
+		})
+		e2e = &e2eFixture{sdb: p, plain: pp}
+	})
+	if e2eErr != nil {
+		b.Fatal(e2eErr)
+	}
+	return e2e
+}
+
+// BenchmarkTPCHQueries is experiment E9: end-to-end latency of the runnable
+// TPC-H queries through SDB versus the plaintext engine. The ratio is the
+// price of encrypted processing.
+func BenchmarkTPCHQueries(b *testing.B) {
+	f := e2eSetup(b)
+	for _, q := range tpch.RunnableQueries() {
+		q := q
+		b.Run(fmt.Sprintf("Q%d/sdb", q.Num), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.sdb.Exec(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Q%d/plain", q.Num), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.plain.Exec(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClientServerBreakdown is experiment E3: the demo's step-2 claim
+// that client costs (parse + rewrite + decrypt) are subtle compared with
+// the total. The parts are reported as ns/op metrics.
+func BenchmarkClientServerBreakdown(b *testing.B) {
+	f := e2eSetup(b)
+	queries := map[string]string{
+		"q6-aggregate":  tpch.RunnableQueries()[4].SQL, // Q6
+		"point-select":  `SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_linenumber = 1 LIMIT 10`,
+		"group-by-sum":  `SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag`,
+		"secure-filter": `SELECT l_orderkey FROM lineitem WHERE l_quantity > 25 LIMIT 10`,
+	}
+	for name, sql := range queries {
+		b.Run(name, func(b *testing.B) {
+			var client, server int64
+			for i := 0; i < b.N; i++ {
+				res, err := f.sdb.Exec(sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				client += res.Stats.Client().Nanoseconds()
+				server += res.Stats.Server.Nanoseconds()
+			}
+			b.ReportMetric(float64(client)/float64(b.N), "client-ns/op")
+			b.ReportMetric(float64(server)/float64(b.N), "server-ns/op")
+			b.ReportMetric(float64(client)/float64(client+server)*100, "client-%")
+		})
+	}
+}
+
+// BenchmarkSDBvsShipAll is experiment E7: server-side secure execution
+// versus shipping the whole table to the DO, across selectivities.
+func BenchmarkSDBvsShipAll(b *testing.B) {
+	f := e2eSetup(b)
+	ship := shipall.New(f.sdb)
+	// l_quantity is uniform on [1, 50]; thresholds pick selectivities.
+	cases := map[string]string{
+		"sel-2pct":  `SELECT l_orderkey FROM lineitem WHERE l_quantity > 49`,
+		"sel-50pct": `SELECT l_orderkey FROM lineitem WHERE l_quantity > 25`,
+		"sel-98pct": `SELECT l_orderkey FROM lineitem WHERE l_quantity > 1`,
+	}
+	for name, sql := range cases {
+		b.Run(name+"/sdb", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.sdb.Exec(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/shipall", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ship.Run(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTPCHCoverage is experiment E2's analysis cost (the coverage
+// verdicts themselves are asserted in internal/tpch tests).
+func BenchmarkTPCHCoverage(b *testing.B) {
+	queries := tpch.Queries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sdbCount, onionCount := 0, 0
+		for _, q := range queries {
+			sel, err := sqlparser.ParseSelect(q.SQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops, err := baseline.AnalyzeQuery(sel, tpch.IsSensitive)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if baseline.SDBSupports(ops) {
+				sdbCount++
+			}
+			if baseline.CryptDBSupports(ops) {
+				onionCount++
+			}
+		}
+		if sdbCount != 22 {
+			b.Fatalf("SDB coverage %d/22", sdbCount)
+		}
+		b.ReportMetric(float64(sdbCount), "sdb-queries")
+		b.ReportMetric(float64(onionCount), "onion-queries")
+	}
+}
+
+// BenchmarkKeyStore is experiment E10: upload throughput plus the
+// observation that the key store stays O(#columns).
+func BenchmarkKeyStore(b *testing.B) {
+	secret, err := secure.Setup(512, 62, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(storage.NewCatalog(), secret.N())
+	p, err := proxy.New(secret, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Exec(`CREATE TABLE k (id INT, v INT SENSITIVE)`); err != nil {
+		b.Fatal(err)
+	}
+	before := p.KeyStore().NumKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Exec(fmt.Sprintf(`INSERT INTO k VALUES (%d, %d)`, i, i*7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if p.KeyStore().NumKeys() != before {
+		b.Fatalf("key store grew with rows")
+	}
+	b.ReportMetric(float64(p.KeyStore().NumKeys()), "keys")
+}
+
+// BenchmarkKeyRotation measures server-side re-keying throughput: one
+// key-update token application per stored row, no decryption anywhere.
+func BenchmarkKeyRotation(b *testing.B) {
+	secret, err := secure.Setup(512, 62, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(storage.NewCatalog(), secret.N())
+	p, err := proxy.New(secret, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Exec(`CREATE TABLE r (id INT, v INT SENSITIVE)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rows := make([]string, 50)
+		for j := range rows {
+			rows[j] = fmt.Sprintf("(%d, %d)", i*50+j, i*j)
+		}
+		if _, err := p.Exec("INSERT INTO r VALUES " + strings.Join(rows, ", ")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RotateColumn("r", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "rows-rekeyed/op")
+}

@@ -1,0 +1,272 @@
+// Command sdb-bench drives the paper-reproduction experiments from
+// DESIGN.md §3 and prints the tables recorded in EXPERIMENTS.md.
+//
+//	sdb-bench -exp coverage            # E2: TPC-H coverage matrix
+//	sdb-bench -exp breakdown -sf 0.001 # E3: client vs server cost
+//	sdb-bench -exp shipall  -sf 0.001  # E7: SDB vs ship-everything
+//	sdb-bench -exp tpch     -sf 0.001  # E9: TPC-H latency vs plaintext
+//	sdb-bench -exp ops -bits 2048      # E5/E6: per-operator costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sdb/internal/baseline"
+	"sdb/internal/baseline/shipall"
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/sqlparser"
+	"sdb/internal/storage"
+	"sdb/internal/tpch"
+)
+
+func main() {
+	exp := flag.String("exp", "coverage", "experiment: coverage|breakdown|shipall|tpch|ops")
+	sf := flag.Float64("sf", 0.001, "TPC-H scale factor for data-driven experiments")
+	bits := flag.Int("bits", 512, "modulus width for ops experiment and deployments")
+	flag.Parse()
+
+	switch *exp {
+	case "coverage":
+		coverage()
+	case "breakdown":
+		breakdown(*sf, *bits)
+	case "shipall":
+		shipallExp(*sf, *bits)
+	case "tpch":
+		tpchExp(*sf, *bits)
+	case "ops":
+		ops(*bits)
+	default:
+		log.Fatalf("sdb-bench: unknown experiment %q", *exp)
+	}
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// coverage prints the E2 matrix: per-query operator demands and native
+// support under SDB versus the CryptDB-style onion rules.
+func coverage() {
+	w := tw()
+	fmt.Fprintln(w, "query\tops on sensitive columns\tSDB\tonion (CryptDB-style)")
+	sdbCount, onionCount := 0, 0
+	for _, q := range tpch.Queries() {
+		sel, err := sqlparser.ParseSelect(q.SQL)
+		if err != nil {
+			log.Fatalf("Q%d: %v", q.Num, err)
+		}
+		ops, err := baseline.AnalyzeQuery(sel, tpch.IsSensitive)
+		if err != nil {
+			log.Fatalf("Q%d: %v", q.Num, err)
+		}
+		sdb, onion := baseline.SDBSupports(ops), baseline.CryptDBSupports(ops)
+		if sdb {
+			sdbCount++
+		}
+		if onion {
+			onionCount++
+		}
+		fmt.Fprintf(w, "Q%d\t%s\t%s\t%s\n", q.Num, orDash(ops.String()), yn(sdb), yn(onion))
+	}
+	fmt.Fprintf(w, "total\t\t%d/22\t%d/22\n", sdbCount, onionCount)
+	w.Flush()
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+// deployment builds an SDB proxy + in-process SP loaded with TPC-H data.
+func deployment(sf float64, bits int) *proxy.Proxy {
+	secret, err := secure.Setup(bits, secure.DefaultValueBits, secure.DefaultMaskBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(storage.NewCatalog(), secret.N())
+	p, err := proxy.New(secret, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ddl := range tpch.CreateStatements() {
+		if _, err := p.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 42}, func(sql string) error {
+		_, err := p.Exec(sql)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded TPC-H SF %g in %v (%d-bit modulus)\n\n", sf, time.Since(start).Round(time.Millisecond), bits)
+	return p
+}
+
+func plainDeployment(sf float64) *proxy.Proxy {
+	secret, err := secure.Setup(256, 62, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(storage.NewCatalog(), nil)
+	p, err := proxy.New(secret, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ddl := range tpch.CreateStatements() {
+		stmt, _ := sqlparser.Parse(ddl)
+		ct := stmt.(*sqlparser.CreateTable)
+		for i := range ct.Cols {
+			ct.Cols[i].Type.Sensitive = false
+		}
+		if _, err := p.Exec(ct.String()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 42}, func(sql string) error {
+		_, err := p.Exec(sql)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// breakdown is E3: client vs server cost per query.
+func breakdown(sf float64, bits int) {
+	p := deployment(sf, bits)
+	w := tw()
+	fmt.Fprintln(w, "query\tparse\trewrite\tdecrypt\tclient\tserver\tclient share")
+	for _, q := range tpch.RunnableQueries() {
+		res, err := p.Exec(q.SQL)
+		if err != nil {
+			log.Fatalf("Q%d: %v", q.Num, err)
+		}
+		st := res.Stats
+		fmt.Fprintf(w, "Q%d\t%v\t%v\t%v\t%v\t%v\t%.1f%%\n",
+			q.Num, st.Parse.Round(time.Microsecond), st.Rewrite.Round(time.Microsecond),
+			st.Decrypt.Round(time.Microsecond), st.Client().Round(time.Microsecond),
+			st.Server.Round(time.Microsecond),
+			float64(st.Client())/float64(st.Total())*100)
+	}
+	w.Flush()
+}
+
+// shipallExp is E7: SDB vs ship-everything across selectivities.
+func shipallExp(sf float64, bits int) {
+	p := deployment(sf, bits)
+	ship := shipall.New(p)
+	w := tw()
+	fmt.Fprintln(w, "selectivity\tSDB\tship-all\trows shipped (ship-all)")
+	for _, c := range []struct {
+		name string
+		sql  string
+	}{
+		{"~2%", `SELECT l_orderkey FROM lineitem WHERE l_quantity > 49`},
+		{"~50%", `SELECT l_orderkey FROM lineitem WHERE l_quantity > 25`},
+		{"~98%", `SELECT l_orderkey FROM lineitem WHERE l_quantity > 1`},
+	} {
+		t0 := time.Now()
+		if _, err := p.Exec(c.sql); err != nil {
+			log.Fatal(err)
+		}
+		sdbTime := time.Since(t0)
+		t1 := time.Now()
+		_, shipped, err := ship.Run(c.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shipTime := time.Since(t1)
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d\n", c.name,
+			sdbTime.Round(time.Millisecond), shipTime.Round(time.Millisecond), shipped)
+	}
+	w.Flush()
+}
+
+// tpchExp is E9: TPC-H latency, SDB vs plaintext engine.
+func tpchExp(sf float64, bits int) {
+	p := deployment(sf, bits)
+	plain := plainDeployment(sf)
+	w := tw()
+	fmt.Fprintln(w, "query\tSDB\tplaintext\toverhead")
+	for _, q := range tpch.RunnableQueries() {
+		t0 := time.Now()
+		if _, err := p.Exec(q.SQL); err != nil {
+			log.Fatalf("Q%d sdb: %v", q.Num, err)
+		}
+		sdbTime := time.Since(t0)
+		t1 := time.Now()
+		if _, err := plain.Exec(q.SQL); err != nil {
+			log.Fatalf("Q%d plain: %v", q.Num, err)
+		}
+		plainTime := time.Since(t1)
+		fmt.Fprintf(w, "Q%d\t%v\t%v\t%.1fx\n", q.Num,
+			sdbTime.Round(time.Millisecond), plainTime.Round(time.Millisecond),
+			float64(sdbTime)/float64(plainTime))
+	}
+	w.Flush()
+}
+
+// ops is E5/E6: per-operator cost at the chosen modulus width.
+func ops(bits int) {
+	secret, err := secure.Setup(bits, secure.DefaultValueBits, secure.DefaultMaskBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := secret.N()
+	ckA, _ := secret.NewColumnKey()
+	ckB, _ := secret.NewColumnKey()
+	flat, _ := secret.FlatKey()
+	rid, _ := secret.NewRowID()
+	wv := secret.RowHelper(rid)
+	ae, _ := secret.EncryptInt64(123456, rid, ckA)
+	be, _ := secret.EncryptInt64(-9876, rid, ckB)
+	tokU, _ := secret.KeyUpdateToken(ckA, ckB)
+	tokF, _ := secret.KeyUpdateToken(ckA, flat)
+
+	const iters = 2000
+	timeOp := func(name string, f func()) {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		fmt.Printf("%-22s %10v/op\n", name, time.Since(t0)/iters)
+	}
+	fmt.Printf("per-operator cost, %d-bit modulus (%d iterations)\n\n", bits, iters)
+	timeOp("encrypt", func() { _, _ = secret.EncryptInt64(424242, rid, ckA) })
+	timeOp("decrypt", func() { secret.Decrypt(ae, rid, ckA) })
+	timeOp("multiply (EE)", func() { secure.Multiply(ae, be, n) })
+	timeOp("add (same key)", func() { secure.AddShares(ae, ae, n) })
+	timeOp("key update", func() { secure.ApplyToken(tokU, ae, wv, n) })
+	timeOp("flatten (DET tag)", func() { secure.ApplyToken(tokF, ae, wv, n) })
+	timeOp("token generation", func() { _, _ = secret.KeyUpdateToken(ckA, ckB) })
+	half := new(big.Int).Rsh(n, 1)
+	mask, _ := secret.NewMaskValue()
+	ckR, _ := secret.NewColumnKey()
+	me, _ := secret.EncryptMask(mask, rid, ckR)
+	rev, _ := secret.RevealToken(secret.MulKeys(ckA, ckR))
+	timeOp("compare (full)", func() {
+		diff := secure.SubShares(ae, secure.ApplyToken(tokU, be, wv, n), n)
+		masked := secure.Multiply(diff, me, n)
+		secure.MaskedSign(secure.ApplyToken(rev, masked, wv, n), half)
+	})
+}

@@ -1,0 +1,47 @@
+// Command sdb-server runs the service provider (machine MSP in the demo):
+// an SDB engine listening for rewritten SQL from proxies. It holds only the
+// public parameters — never key material.
+//
+// Usage:
+//
+//	sdb keygen -secret do.key -public sp.pub     # at the data owner
+//	sdb-server -listen :7070 -public sp.pub      # at the service provider
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sdb/internal/secure"
+	"sdb/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "address to listen on")
+	public := flag.String("public", "", "public parameters file written by 'sdb keygen'")
+	flag.Parse()
+
+	if *public == "" {
+		log.Fatal("sdb-server: -public is required (run 'sdb keygen' at the data owner first)")
+	}
+	data, err := os.ReadFile(*public)
+	if err != nil {
+		log.Fatalf("sdb-server: %v", err)
+	}
+	params, err := secure.UnmarshalParams(data)
+	if err != nil {
+		log.Fatalf("sdb-server: %v", err)
+	}
+
+	srv := server.New(params.N)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("sdb-server: %v", err)
+	}
+	fmt.Printf("sdb-server: listening on %s (modulus %d bits)\n", addr, params.N.BitLen())
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("sdb-server: %v", err)
+	}
+}

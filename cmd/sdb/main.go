@@ -1,0 +1,189 @@
+// Command sdb is the data-owner proxy (machine MDO in the demo): key
+// generation and an interactive SQL shell that rewrites queries, sends them
+// to the service provider, and decrypts the results, printing the
+// client/server cost breakdown the demo shows in step 2.
+//
+// Usage:
+//
+//	sdb keygen -secret do.key -public sp.pub [-bits 2048]
+//	sdb shell -secret do.key -server host:7070
+//	sdb shell -secret do.key -inproc          # embedded SP, for trying out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/server"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "keygen":
+		keygen(os.Args[2:])
+	case "shell":
+		shell(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sdb keygen|shell [flags]")
+	os.Exit(2)
+}
+
+func keygen(args []string) {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	secretPath := fs.String("secret", "do.key", "output file for the DO secret")
+	publicPath := fs.String("public", "sp.pub", "output file for the SP public parameters")
+	bits := fs.Int("bits", secure.DefaultModulusBits, "modulus width in bits")
+	fs.Parse(args)
+
+	fmt.Printf("generating %d-bit parameters…\n", *bits)
+	secret, err := secure.Setup(*bits, secure.DefaultValueBits, secure.DefaultMaskBits)
+	if err != nil {
+		log.Fatalf("sdb keygen: %v", err)
+	}
+	sdata, err := json.Marshal(secret)
+	if err != nil {
+		log.Fatalf("sdb keygen: %v", err)
+	}
+	if err := os.WriteFile(*secretPath, sdata, 0o600); err != nil {
+		log.Fatalf("sdb keygen: %v", err)
+	}
+	pdata, err := json.Marshal(secret.Params())
+	if err != nil {
+		log.Fatalf("sdb keygen: %v", err)
+	}
+	if err := os.WriteFile(*publicPath, pdata, 0o644); err != nil {
+		log.Fatalf("sdb keygen: %v", err)
+	}
+	fmt.Printf("wrote %s (keep at the DO) and %s (give to the SP)\n", *secretPath, *publicPath)
+}
+
+func shell(args []string) {
+	fs := flag.NewFlagSet("shell", flag.ExitOnError)
+	secretPath := fs.String("secret", "do.key", "DO secret file from 'sdb keygen'")
+	serverAddr := fs.String("server", "", "service provider address (host:port)")
+	inproc := fs.Bool("inproc", false, "run an embedded service provider instead")
+	showRewrite := fs.Bool("rewrite", true, "print the rewritten query sent to the SP")
+	fs.Parse(args)
+
+	data, err := os.ReadFile(*secretPath)
+	if err != nil {
+		log.Fatalf("sdb shell: %v (run 'sdb keygen' first)", err)
+	}
+	secret, err := secure.UnmarshalSecret(data)
+	if err != nil {
+		log.Fatalf("sdb shell: %v", err)
+	}
+
+	var exec proxy.Executor
+	switch {
+	case *inproc:
+		exec = engine.New(storage.NewCatalog(), secret.N())
+		fmt.Println("embedded service provider ready")
+	case *serverAddr != "":
+		client, err := server.Dial(*serverAddr)
+		if err != nil {
+			log.Fatalf("sdb shell: %v", err)
+		}
+		defer client.Close()
+		exec = client
+		fmt.Printf("connected to service provider at %s\n", *serverAddr)
+	default:
+		log.Fatal("sdb shell: need -server addr or -inproc")
+	}
+
+	p, err := proxy.New(secret, exec)
+	if err != nil {
+		log.Fatalf("sdb shell: %v", err)
+	}
+
+	fmt.Println("SDB proxy shell — end statements with ';', exit with \\q")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("sdb> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("  -> ")
+			continue
+		}
+		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if sql != "" {
+			run(p, sql, *showRewrite)
+		}
+		fmt.Print("sdb> ")
+	}
+}
+
+func run(p *proxy.Proxy, sql string, showRewrite bool) {
+	res, err := p.Exec(sql)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if showRewrite && res.Stats.RewrittenSQL != "" {
+		fmt.Printf("-- rewritten: %s\n", truncate(res.Stats.RewrittenSQL, 400))
+	}
+	printResult(res)
+	st := res.Stats
+	fmt.Printf("-- client %v (parse %v, rewrite %v, decrypt %v) | server %v | total %v\n",
+		st.Client(), st.Parse, st.Rewrite, st.Decrypt, st.Server, st.Total())
+}
+
+func printResult(res *proxy.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Println("ok")
+		return
+	}
+	names := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		names[i] = c.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = render(v, res.Columns[i])
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func render(v types.Value, col proxy.Column) string {
+	if v.K == types.KindDecimal || (col.Scale > 0 && v.K == types.KindInt) {
+		return types.FormatDecimal(v.I, col.Scale)
+	}
+	return v.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + " …"
+}

@@ -1,0 +1,38 @@
+// Command tpchgen emits the TPC-H DDL and data as SQL text, suitable for
+// piping into the sdb shell or loading programmatically.
+//
+//	tpchgen -sf 0.001 -seed 42 > tpch.sql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sdb/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.001, "TPC-H scale factor (1.0 = 6M lineitem rows)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	ddlOnly := flag.Bool("ddl-only", false, "emit only CREATE TABLE statements")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, ddl := range tpch.CreateStatements() {
+		fmt.Fprintln(w, ddl+";")
+	}
+	if *ddlOnly {
+		return
+	}
+	err := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: *seed}, func(sql string) error {
+		_, err := fmt.Fprintln(w, sql+";")
+		return err
+	})
+	if err != nil {
+		log.Fatalf("tpchgen: %v", err)
+	}
+}

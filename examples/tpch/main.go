@@ -1,0 +1,87 @@
+// TPC-H: load a small TPC-H instance through the SDB proxy (financial
+// columns encrypted) and run analytical queries end-to-end, printing the
+// client/server cost split the demo shows in step 2.
+//
+//	go run ./examples/tpch [-sf 0.0005]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/storage"
+	"sdb/internal/tpch"
+	"sdb/internal/types"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.0005, "scale factor")
+	flag.Parse()
+
+	secret, err := secure.Setup(512, secure.DefaultValueBits, secure.DefaultMaskBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := engine.New(storage.NewCatalog(), secret.N())
+	p, err := proxy.New(secret, sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("loading TPC-H SF %g with encrypted financial columns…\n", *sf)
+	start := time.Now()
+	for _, ddl := range tpch.CreateStatements() {
+		if _, err := p.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: 42}, func(sql string) error {
+		_, err := p.Exec(sql)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	for _, num := range []int{6, 1, 5} {
+		var q tpch.Query
+		for _, cand := range tpch.Queries() {
+			if cand.Num == num {
+				q = cand
+			}
+		}
+		fmt.Printf("== TPC-H Q%d (%s)\n", q.Num, q.Name)
+		res, err := p.Exec(q.SQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, row := range res.Rows {
+			if i >= 5 {
+				fmt.Printf("   … %d more rows\n", len(res.Rows)-5)
+				break
+			}
+			fmt.Print("  ")
+			for c, v := range row {
+				fmt.Printf(" %s", render(v, res.Columns[c]))
+			}
+			fmt.Println()
+		}
+		st := res.Stats
+		fmt.Printf("   client %v (%.1f%%) | server %v | total %v\n\n",
+			st.Client().Round(time.Microsecond),
+			float64(st.Client())/float64(st.Total())*100,
+			st.Server.Round(time.Microsecond), st.Total().Round(time.Microsecond))
+	}
+}
+
+func render(v types.Value, col proxy.Column) string {
+	if v.K == types.KindDecimal {
+		return types.FormatDecimal(v.I, col.Scale)
+	}
+	return v.String()
+}

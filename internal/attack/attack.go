@@ -1,0 +1,167 @@
+// Package attack implements the adversary's viewpoint from the demo's step
+// 3 (Figure 4): an administrator who "can get access to the disk and memory
+// at any instant" at the service provider. Scan inspects everything the SP
+// holds — stored tables (DB knowledge) and, via the engine, the material a
+// rewritten query exposes (QR knowledge) — and searches it for planted
+// sensitive plaintexts. A secure deployment yields zero hits.
+package attack
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"sdb/internal/bigmod"
+	"sdb/internal/engine"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+// Finding is one leaked sentinel occurrence.
+type Finding struct {
+	Where    string
+	Sentinel int64
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("sentinel %d visible at %s", f.Sentinel, f.Where)
+}
+
+// Report aggregates scan results.
+type Report struct {
+	CellsScanned int
+	Findings     []Finding
+}
+
+// Clean reports whether no sentinel was found.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// ScanCatalog sweeps every stored cell, row id and helper at the SP for the
+// sentinel values — the "disk" half of the adversary's access. Sentinels
+// are compared against raw stored integers (shares included: a share that
+// *equals* its plaintext means encryption silently failed).
+func ScanCatalog(cat *storage.Catalog, sentinels []int64) *Report {
+	rep := &Report{}
+	sset := make(map[int64]bool, len(sentinels))
+	for _, s := range sentinels {
+		sset[s] = true
+	}
+	for _, name := range cat.Names() {
+		t, err := cat.Get(name)
+		if err != nil {
+			continue
+		}
+		for ci, col := range t.Schema.Columns {
+			if !col.Type.Sensitive {
+				continue // insensitive columns hold plaintext by design
+			}
+			for ri, v := range t.Cols[ci] {
+				rep.CellsScanned++
+				if hit, s := matches(v, sset); hit {
+					rep.Findings = append(rep.Findings, Finding{
+						Where:    fmt.Sprintf("%s.%s row %d (stored share)", name, col.Name, ri),
+						Sentinel: s,
+					})
+				}
+			}
+		}
+		for ri, r := range t.RowEnc {
+			rep.CellsScanned++
+			if r != nil && r.IsInt64() && sset[r.Int64()] {
+				rep.Findings = append(rep.Findings, Finding{
+					Where:    fmt.Sprintf("%s row %d (row id)", name, ri),
+					Sentinel: r.Int64(),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// ScanResult sweeps an encrypted query result as it leaves the SP — the
+// transient "memory" half (QR knowledge). Columns the query deliberately
+// reveals (plaintext projections of insensitive columns, counts, masked
+// comparison signs) are expected to be plaintext; the scan flags only
+// sentinel values, i.e. actual sensitive data.
+func ScanResult(res *engine.Result, sentinels []int64) *Report {
+	rep := &Report{}
+	sset := make(map[int64]bool, len(sentinels))
+	for _, s := range sentinels {
+		sset[s] = true
+	}
+	for ri, row := range res.Rows {
+		for ci, v := range row {
+			rep.CellsScanned++
+			if hit, s := matches(v, sset); hit {
+				rep.Findings = append(rep.Findings, Finding{
+					Where:    fmt.Sprintf("result row %d column %d (%s)", ri, ci, res.Columns[ci].Name),
+					Sentinel: s,
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// ScanSQL searches rewritten SQL text for sentinel literals — constants the
+// proxy failed to hide (they must travel as proxy-made tags, never in the
+// clear).
+func ScanSQL(sql string, sentinels []int64) *Report {
+	rep := &Report{CellsScanned: 1}
+	for _, s := range sentinels {
+		needle := fmt.Sprintf("%d", s)
+		for _, tok := range strings.FieldsFunc(sql, func(r rune) bool {
+			return r == ' ' || r == '(' || r == ')' || r == ',' || r == '\n' || r == '\t'
+		}) {
+			if tok == needle {
+				rep.Findings = append(rep.Findings, Finding{Where: "rewritten SQL literal", Sentinel: s})
+			}
+		}
+	}
+	return rep
+}
+
+// matches reports whether a stored value equals a sentinel, looking through
+// both plaintext kinds and shares whose residue coincides with a sentinel.
+func matches(v types.Value, sset map[int64]bool) (bool, int64) {
+	switch v.K {
+	case types.KindInt, types.KindDecimal, types.KindDate:
+		if sset[v.I] {
+			return true, v.I
+		}
+	case types.KindShare:
+		if v.B != nil && v.B.IsInt64() && sset[v.B.Int64()] {
+			return true, v.B.Int64()
+		}
+	}
+	return false, 0
+}
+
+// BruteForceShare models the strongest DB-knowledge attack on one share:
+// trying to recover the plaintext without keys. Against the multiplicative
+// scheme, every candidate plaintext v' is *consistent* with the observed
+// share (there is always an item key vk' = v'·ve⁻¹ explaining it), so the
+// attacker learns nothing — this function demonstrates that by returning
+// the count of candidate plaintexts consistent with the share, which equals
+// the number of candidates tried.
+func BruteForceShare(ve, n *big.Int, candidates []int64) int {
+	consistent := 0
+	for _, c := range candidates {
+		enc := new(big.Int).Mod(big.NewInt(c), n)
+		if enc.Sign() == 0 {
+			if ve.Sign() == 0 {
+				consistent++
+			}
+			continue
+		}
+		if !bigmod.Coprime(enc, n) {
+			continue
+		}
+		// vk' = c·ve⁻¹ mod n exists whenever ve is invertible: the share
+		// is consistent with candidate c.
+		if bigmod.Coprime(ve, n) {
+			consistent++
+		}
+	}
+	return consistent
+}

@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"math/big"
+	"testing"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/storage"
+)
+
+// sentinels are distinctive balances planted at the DO; the adversary scans
+// the SP for them.
+var sentinels = []int64{7777777, -3141592, 9999991}
+
+func deploy(t *testing.T) (*proxy.Proxy, *engine.Engine) {
+	t.Helper()
+	secret, err := secure.Setup(512, 62, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(storage.NewCatalog(), secret.N())
+	p, err := proxy.New(secret, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`CREATE TABLE vault (id INT, note STRING, amount INT SENSITIVE)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`INSERT INTO vault VALUES
+		(1, 'a', 7777777), (2, 'b', -3141592), (3, 'c', 9999991), (4, 'd', 42)`); err != nil {
+		t.Fatal(err)
+	}
+	return p, eng
+}
+
+// TestNoPlaintextAtSP is experiment E4: the paper's step-3 demonstration
+// that neither the SP's storage nor in-flight query results contain
+// sensitive plaintext.
+func TestNoPlaintextAtSP(t *testing.T) {
+	p, eng := deploy(t)
+
+	// DB knowledge: scan everything on "disk".
+	rep := ScanCatalog(eng.Catalog(), sentinels)
+	if rep.CellsScanned == 0 {
+		t.Fatal("scan visited nothing")
+	}
+	if !rep.Clean() {
+		t.Fatalf("storage leaked: %v", rep.Findings)
+	}
+
+	// QR knowledge: run sensitive queries and scan what the SP computes
+	// and returns before the proxy decrypts it.
+	queries := []string{
+		`SELECT amount FROM vault`,
+		`SELECT SUM(amount) FROM vault`,
+		`SELECT id FROM vault WHERE amount > 1000000`,
+		`SELECT amount, COUNT(*) FROM vault GROUP BY amount`,
+	}
+	for _, q := range queries {
+		res, err := p.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		// The rewritten SQL must not carry user constants in the clear.
+		if r := ScanSQL(res.Stats.RewrittenSQL, append(sentinels, 1000000)); !r.Clean() {
+			t.Errorf("%s: rewritten SQL leaked: %v", q, r.Findings)
+		}
+		// Re-run the rewritten SQL directly at the engine: the raw
+		// (undecrypted) result is what a memory dump at the SP would show.
+		raw, err := eng.ExecuteSQL(res.Stats.RewrittenSQL)
+		if err != nil {
+			t.Fatalf("raw re-run: %v", err)
+		}
+		if r := ScanResult(raw, sentinels); !r.Clean() {
+			t.Errorf("%s: encrypted result leaked: %v", q, r.Findings)
+		}
+	}
+}
+
+// TestScannerDetectsDeliberateLeak sanity-checks the scanner itself: a
+// table that stores plaintext in a sensitive column must be flagged. (We
+// bypass the proxy to plant the leak.)
+func TestScannerDetectsDeliberateLeak(t *testing.T) {
+	_, eng := deploy(t)
+	tbl, err := eng.Catalog().Get("vault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite one stored share with the raw plaintext value.
+	idx := tbl.Schema.Find("amount")
+	tbl.Cols[idx][0].B = big.NewInt(7777777)
+	rep := ScanCatalog(eng.Catalog(), sentinels)
+	if rep.Clean() {
+		t.Fatal("scanner missed a planted plaintext")
+	}
+}
+
+func TestBruteForceLearnsNothing(t *testing.T) {
+	// Every candidate plaintext is consistent with an observed share, so
+	// DB knowledge alone cannot narrow the value down (paper §2.3).
+	secret, err := secure.Setup(512, 62, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, _ := secret.NewColumnKey()
+	r, _ := secret.NewRowID()
+	ve, _ := secret.EncryptInt64(424242, r, ck)
+	candidates := []int64{1, 2, 3, 424242, 999999, -5}
+	if got := BruteForceShare(ve, secret.N(), candidates); got != len(candidates) {
+		t.Errorf("consistent candidates = %d, want all %d", got, len(candidates))
+	}
+}
+
+func TestScanSQLFindsLiterals(t *testing.T) {
+	rep := ScanSQL("SELECT x FROM t WHERE y > 7777777", sentinels)
+	if rep.Clean() {
+		t.Error("expected literal hit")
+	}
+}

@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T) []byte {
+	t.Helper()
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestDETRoundTripAndDeterminism(t *testing.T) {
+	d, err := NewDET(testKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{0, 1, -1, 123456789, -987654} {
+		c := d.Encrypt(v)
+		if d.Decrypt(c) != v {
+			t.Errorf("round trip %d failed", v)
+		}
+		if c != d.Encrypt(v) {
+			t.Errorf("DET must be deterministic for %d", v)
+		}
+	}
+	if d.Encrypt(5) == d.Encrypt(6) {
+		t.Error("distinct plaintexts collided")
+	}
+}
+
+func TestDETKeyValidation(t *testing.T) {
+	if _, err := NewDET([]byte("short")); err == nil {
+		t.Error("expected error for bad key size")
+	}
+}
+
+func TestRNDRoundTripAndRandomness(t *testing.T) {
+	r, err := NewRND(testKey(t)[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := r.Encrypt(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Encrypt(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) == string(c2) {
+		t.Error("RND must randomize equal plaintexts")
+	}
+	v, err := r.Decrypt(c1)
+	if err != nil || v != 42 {
+		t.Errorf("decrypt: %d, %v", v, err)
+	}
+	if _, err := r.Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Error("expected error for truncated ciphertext")
+	}
+}
+
+func TestOPEPreservesOrder(t *testing.T) {
+	o := NewOPE(testKey(t))
+	vals := []int64{-1000000, -5, -1, 0, 1, 2, 3, 1000, 99999999}
+	codes := make([]uint64, len(vals))
+	for i, v := range vals {
+		c, err := o.Encrypt(v)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", v, err)
+		}
+		codes[i] = c
+		if o.Decrypt(c) != v {
+			t.Errorf("round trip %d -> %d", v, o.Decrypt(c))
+		}
+	}
+	if !OrderPreserved(codes) {
+		t.Error("OPE violated order")
+	}
+}
+
+func TestOPEDomainBound(t *testing.T) {
+	o := NewOPE(testKey(t))
+	if _, err := o.Encrypt(1 << 50); err == nil {
+		t.Error("expected domain error")
+	}
+}
+
+func TestOPEOrderProperty(t *testing.T) {
+	o := NewOPE(testKey(t))
+	f := func(a, b int32) bool {
+		ca, err1 := o.Encrypt(int64(a))
+		cb, err2 := o.Encrypt(int64(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		switch {
+		case a < b:
+			return ca < cb
+		case a > b:
+			return ca > cb
+		default:
+			return ca == cb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sens(table, col string) bool {
+	switch col {
+	case "price", "discount", "balance", "qty":
+		return true
+	}
+	return false
+}
+
+func TestCoverageSimpleQueriesSupportedByBoth(t *testing.T) {
+	queries := []string{
+		`SELECT SUM(price) FROM t`,
+		`SELECT id FROM t WHERE price > 100`,
+		`SELECT price, COUNT(*) FROM t GROUP BY price`,
+		`SELECT MIN(price) FROM t`,
+		`SELECT a.id FROM a JOIN b ON a.price = b.price`,
+	}
+	for _, q := range queries {
+		ops, err := AnalyzeSQL(q, sens)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !CryptDBSupports(ops) {
+			t.Errorf("CryptDB should support %q (ops %s)", q, ops)
+		}
+		if !SDBSupports(ops) {
+			t.Errorf("SDB should support %q", q)
+		}
+	}
+}
+
+func TestCoverageInteroperabilityGap(t *testing.T) {
+	// The revenue expression of TPC-H Q6/Q1: a product of two encrypted
+	// columns feeding a SUM. SDB handles it natively; onion systems do not
+	// (no EE multiplication, no cross-onion composition).
+	queries := []string{
+		`SELECT SUM(price * discount) FROM t`,
+		`SELECT SUM(price * (1 - discount)) FROM t`,
+		`SELECT id FROM t WHERE price * qty > 100`,
+	}
+	for _, q := range queries {
+		ops, err := AnalyzeSQL(q, sens)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if CryptDBSupports(ops) {
+			t.Errorf("CryptDB should NOT support %q (ops %s)", q, ops)
+		}
+		if !SDBSupports(ops) {
+			t.Errorf("SDB should support %q", q)
+		}
+	}
+}
+
+func TestCoverageCompositionDetected(t *testing.T) {
+	ops, err := AnalyzeSQL(`SELECT k FROM t GROUP BY k HAVING SUM(price + discount) > 5`, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ops[OpAddEE] || !ops[OpSum] {
+		t.Errorf("ops = %s", ops)
+	}
+	if !ops[OpCompose] {
+		t.Errorf("SUM over add(E,E) must be flagged as composition: %s", ops)
+	}
+}
+
+func TestOpSetString(t *testing.T) {
+	ops := make(OpSet)
+	ops.Add(OpSum)
+	ops.Add(OpEq)
+	if ops.String() != "eq,sum" {
+		t.Errorf("String = %q", ops.String())
+	}
+}

@@ -1,0 +1,120 @@
+// Package paillier reimplements the Paillier additively homomorphic
+// cryptosystem (Paillier, EUROCRYPT 1999), which CryptDB and MONOMI use for
+// their HOM onion (SUM aggregation). SDB's comparison baseline needs it to
+// model what those systems can and cannot compute natively.
+//
+// Enc(m) = g^m · r^n mod n², with g = n+1; Dec(c) = L(c^λ mod n²)·μ mod n,
+// where L(u) = (u−1)/n. Ciphertext multiplication adds plaintexts;
+// ciphertext exponentiation by a constant multiplies the plaintext by it.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey encrypts and composes ciphertexts.
+type PublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // n²
+	G  *big.Int // n+1
+}
+
+// PrivateKey decrypts.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p−1, q−1)
+	mu     *big.Int // (L(g^λ mod n²))⁻¹ mod n
+}
+
+// GenerateKey creates a key pair with an n of the given bit length.
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("paillier: modulus %d bits too small", bits)
+	}
+	p, err := rand.Prime(rand.Reader, bits/2)
+	if err != nil {
+		return nil, err
+	}
+	q, err := rand.Prime(rand.Reader, bits-bits/2)
+	if err != nil {
+		return nil, err
+	}
+	if p.Cmp(q) == 0 {
+		return GenerateKey(bits)
+	}
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+	g := new(big.Int).Add(n, one)
+
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+	lambda := new(big.Int).Mul(pm1, qm1)
+	lambda.Quo(lambda, gcd)
+
+	// mu = (L(g^lambda mod n2))^-1 mod n
+	u := new(big.Int).Exp(g, lambda, n2)
+	l := l(u, n)
+	mu := new(big.Int).ModInverse(l, n)
+	if mu == nil {
+		return nil, errors.New("paillier: degenerate key")
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: n, N2: n2, G: g},
+		lambda:    lambda,
+		mu:        mu,
+	}, nil
+}
+
+// l computes L(u) = (u-1)/n.
+func l(u, n *big.Int) *big.Int {
+	r := new(big.Int).Sub(u, one)
+	return r.Quo(r, n)
+}
+
+// Encrypt encrypts a signed message (|m| must be far below n/2).
+func (pk *PublicKey) Encrypt(m *big.Int) (*big.Int, error) {
+	mm := new(big.Int).Mod(m, pk.N)
+	r, err := rand.Int(rand.Reader, pk.N)
+	if err != nil {
+		return nil, err
+	}
+	r.Add(r, one) // [1, n]
+	// g^m · r^n mod n², with g = n+1 so g^m = 1 + m·n (mod n²).
+	gm := new(big.Int).Mul(mm, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	return c.Mod(c, pk.N2), nil
+}
+
+// Add composes two ciphertexts into an encryption of the plaintext sum.
+func (pk *PublicKey) Add(c1, c2 *big.Int) *big.Int {
+	c := new(big.Int).Mul(c1, c2)
+	return c.Mod(c, pk.N2)
+}
+
+// MulPlain scales an encrypted value by a plaintext constant.
+func (pk *PublicKey) MulPlain(c, k *big.Int) *big.Int {
+	kk := new(big.Int).Mod(k, pk.N)
+	return new(big.Int).Exp(c, kk, pk.N2)
+}
+
+// Decrypt recovers the signed plaintext (values above n/2 are negative).
+func (sk *PrivateKey) Decrypt(c *big.Int) *big.Int {
+	u := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	m := l(u, sk.N)
+	m.Mul(m, sk.mu)
+	m.Mod(m, sk.N)
+	half := new(big.Int).Rsh(sk.N, 1)
+	if m.Cmp(half) > 0 {
+		m.Sub(m, sk.N)
+	}
+	return m
+}

@@ -1,0 +1,78 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func testKeyPair(t testing.TB) *PrivateKey {
+	t.Helper()
+	sk, err := GenerateKey(512)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return sk
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := testKeyPair(t)
+	for _, v := range []int64{0, 1, -1, 123456789, -987654321} {
+		c, err := sk.Encrypt(big.NewInt(v))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", v, err)
+		}
+		if got := sk.Decrypt(c); got.Int64() != v {
+			t.Errorf("round trip %d -> %s", v, got)
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	sk := testKeyPair(t)
+	c1, _ := sk.Encrypt(big.NewInt(7))
+	c2, _ := sk.Encrypt(big.NewInt(7))
+	if c1.Cmp(c2) == 0 {
+		t.Error("Paillier must be semantically secure (randomized)")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	sk := testKeyPair(t)
+	a, _ := sk.Encrypt(big.NewInt(1000))
+	b, _ := sk.Encrypt(big.NewInt(-58))
+	sum := sk.Add(a, b)
+	if got := sk.Decrypt(sum); got.Int64() != 942 {
+		t.Errorf("homomorphic add = %s, want 942", got)
+	}
+}
+
+func TestMulPlain(t *testing.T) {
+	sk := testKeyPair(t)
+	c, _ := sk.Encrypt(big.NewInt(21))
+	scaled := sk.MulPlain(c, big.NewInt(-2))
+	if got := sk.Decrypt(scaled); got.Int64() != -42 {
+		t.Errorf("MulPlain = %s, want -42", got)
+	}
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	if _, err := GenerateKey(16); err == nil {
+		t.Error("expected error for tiny key")
+	}
+}
+
+func TestHomomorphismProperty(t *testing.T) {
+	sk := testKeyPair(t)
+	f := func(a, b int32) bool {
+		ca, err1 := sk.Encrypt(big.NewInt(int64(a)))
+		cb, err2 := sk.Encrypt(big.NewInt(int64(b)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sk.Decrypt(sk.Add(ca, cb)).Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

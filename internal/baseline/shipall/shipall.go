@@ -1,0 +1,96 @@
+// Package shipall implements the pre-SDB baseline the paper's introduction
+// describes: the SP is a dumb encrypted store, so to answer a query the DO
+// ships every referenced table back, decrypts it, and evaluates the query
+// itself — "the powerful computation services given by the SP are mostly
+// lost" (§1). Experiment E7 compares this against SDB's server-side
+// execution as selectivity varies.
+package shipall
+
+import (
+	"fmt"
+	"strings"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/sqlparser"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+// Client evaluates queries DO-side after fetching and decrypting entire
+// tables through the proxy.
+type Client struct {
+	p *proxy.Proxy
+}
+
+// New wraps a proxy (whose executor is the SP holding the encrypted data).
+func New(p *proxy.Proxy) *Client {
+	return &Client{p: p}
+}
+
+// Run executes one SELECT by shipping every referenced base table to the
+// DO, decrypting it, and evaluating locally. RowsShipped reports the
+// transfer volume the baseline paid.
+func (c *Client) Run(sql string) (res *proxy.Result, rowsShipped int, err error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	tables := map[string]bool{}
+	collectTables(sel, tables)
+
+	local := engine.New(storage.NewCatalog(), nil)
+	for name := range tables {
+		fetched, err := c.p.Exec("SELECT * FROM " + name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("shipall: fetch %s: %w", name, err)
+		}
+		rowsShipped += len(fetched.Rows)
+		cols := make([]types.Column, len(fetched.Columns))
+		for i, col := range fetched.Columns {
+			cols[i] = types.Column{Name: col.Name, Type: types.ColumnType{Kind: col.Kind, Scale: col.Scale}}
+		}
+		schema, err := types.NewSchema(cols)
+		if err != nil {
+			return nil, 0, err
+		}
+		t := storage.NewTable(name, schema)
+		for _, row := range fetched.Rows {
+			if err := t.Append(row, nil, nil); err != nil {
+				return nil, 0, err
+			}
+		}
+		if err := local.Catalog().Create(t); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	r, err := local.Execute(sel)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := &proxy.Result{}
+	for _, col := range r.Columns {
+		out.Columns = append(out.Columns, proxy.Column{Name: col.Name, Kind: col.Kind})
+	}
+	out.Rows = r.Rows
+	return out, rowsShipped, nil
+}
+
+func collectTables(sel *sqlparser.Select, into map[string]bool) {
+	var walkRef func(ref sqlparser.TableRef)
+	walkRef = func(ref sqlparser.TableRef) {
+		switch r := ref.(type) {
+		case sqlparser.TableName:
+			into[strings.ToLower(r.Name)] = true
+		case *sqlparser.JoinRef:
+			walkRef(r.Left)
+			walkRef(r.Right)
+		case *sqlparser.SubqueryRef:
+			collectTables(r.Sel, into)
+		}
+	}
+	for _, ref := range sel.From {
+		walkRef(ref)
+	}
+}

@@ -1,0 +1,75 @@
+package shipall
+
+import (
+	"testing"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/storage"
+)
+
+func TestShipAllMatchesSDB(t *testing.T) {
+	secret, err := secure.Setup(512, 62, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(storage.NewCatalog(), secret.N())
+	p, err := proxy.New(secret, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`CREATE TABLE t (id INT, v INT SENSITIVE)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`INSERT INTO t VALUES (1, 10), (2, 200), (3, 3000), (4, -7)`); err != nil {
+		t.Fatal(err)
+	}
+
+	sql := `SELECT id FROM t WHERE v > 50 ORDER BY id`
+	sdbRes, err := p.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipRes, shipped, err := New(p).Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped != 4 {
+		t.Errorf("rows shipped = %d, want the whole table (4)", shipped)
+	}
+	if len(sdbRes.Rows) != len(shipRes.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(sdbRes.Rows), len(shipRes.Rows))
+	}
+	for i := range sdbRes.Rows {
+		if sdbRes.Rows[i][0].I != shipRes.Rows[i][0].I {
+			t.Errorf("row %d: %v vs %v", i, sdbRes.Rows[i], shipRes.Rows[i])
+		}
+	}
+}
+
+func TestShipAllJoins(t *testing.T) {
+	secret, _ := secure.Setup(512, 62, 80)
+	eng := engine.New(storage.NewCatalog(), secret.N())
+	p, _ := proxy.New(secret, eng)
+	for _, sql := range []string{
+		`CREATE TABLE a (id INT, v INT SENSITIVE)`,
+		`CREATE TABLE b (id INT, w INT)`,
+		`INSERT INTO a VALUES (1, 5), (2, 6)`,
+		`INSERT INTO b VALUES (1, 100), (2, 200)`,
+	} {
+		if _, err := p.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, shipped, err := New(p).Run(`SELECT a.id, b.w FROM a JOIN b ON a.id = b.id WHERE a.v > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped != 4 {
+		t.Errorf("shipped = %d, want 4 (both tables in full)", shipped)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].I != 200 {
+		t.Errorf("rows: %v", res.Rows)
+	}
+}

@@ -1,0 +1,482 @@
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"sdb/internal/secure"
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// aggregateNames are the recognised aggregate functions. sdb_min/sdb_max
+// are the secure aggregates over flat-key tags (see DESIGN.md §1): they
+// select the extreme share using the masked-comparison protocol and return
+// it still encrypted.
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"sdb_min": true, "sdb_max": true,
+}
+
+func isAggregateName(name string) bool {
+	return aggregateNames[strings.ToLower(name)]
+}
+
+// collectAggregates finds every distinct aggregate call in the SELECT list,
+// HAVING and ORDER BY.
+func collectAggregates(s *sqlparser.Select) []*sqlparser.FuncCall {
+	var out []*sqlparser.FuncCall
+	seen := make(map[string]bool)
+	var walk func(sqlparser.Expr)
+	walk = func(ex sqlparser.Expr) {
+		switch x := ex.(type) {
+		case *sqlparser.FuncCall:
+			if isAggregateName(x.Name) {
+				key := x.String()
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, x)
+				}
+				return // don't descend into aggregate args
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *sqlparser.BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *sqlparser.UnaryExpr:
+			walk(x.E)
+		case *sqlparser.BetweenExpr:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *sqlparser.InExpr:
+			walk(x.E)
+			for _, i := range x.List {
+				walk(i)
+			}
+		case *sqlparser.LikeExpr:
+			walk(x.E)
+			walk(x.Pattern)
+		case *sqlparser.IsNullExpr:
+			walk(x.E)
+		case *sqlparser.CaseExpr:
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if x.Else != nil {
+				walk(x.Else)
+			}
+		}
+	}
+	for _, item := range s.Items {
+		if !item.Star {
+			walk(item.Expr)
+		}
+	}
+	if s.Having != nil {
+		walk(s.Having)
+	}
+	for _, o := range s.OrderBy {
+		walk(o.Expr)
+	}
+	return out
+}
+
+// aggregate executes GROUP BY + aggregates and returns (1) the aggregated
+// relation whose columns are the group keys and aggregate results, and (2)
+// a rewritten Select whose expressions reference those columns instead of
+// aggregate calls.
+func (e *Engine) aggregate(rel *relation, s *sqlparser.Select, aggs []*sqlparser.FuncCall) (*relation, *sqlparser.Select, error) {
+	ctx := e.evalCtx()
+
+	// Compile group-by keys.
+	keyExprs := make([]compiledExpr, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		var err error
+		if keyExprs[i], err = compile(g, rel, ctx); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Compile aggregate argument expressions.
+	type aggSpec struct {
+		call *sqlparser.FuncCall
+		name string // lower-cased function name
+		args []compiledExpr
+		p, n types.Value // for sdb_min/sdb_max
+	}
+	specs := make([]aggSpec, len(aggs))
+	for i, a := range aggs {
+		spec := aggSpec{call: a, name: strings.ToLower(a.Name)}
+		if spec.name == "sdb_min" || spec.name == "sdb_max" {
+			if len(a.Args) != 4 {
+				return nil, nil, fmt.Errorf("engine: %s expects (tag, mtag, p, n)", spec.name)
+			}
+			for _, arg := range a.Args[:2] {
+				ce, err := compile(arg, rel, ctx)
+				if err != nil {
+					return nil, nil, err
+				}
+				spec.args = append(spec.args, ce)
+			}
+			var err error
+			if spec.p, err = evalConst(a.Args[2], ctx); err != nil {
+				return nil, nil, err
+			}
+			if spec.n, err = evalConst(a.Args[3], ctx); err != nil {
+				return nil, nil, err
+			}
+		} else if !a.Star {
+			for _, arg := range a.Args {
+				ce, err := compile(arg, rel, ctx)
+				if err != nil {
+					return nil, nil, err
+				}
+				spec.args = append(spec.args, ce)
+			}
+		}
+		specs[i] = spec
+	}
+
+	// Group rows.
+	type group struct {
+		key  []types.Value
+		rows []types.Row
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rel.rows {
+		keyVals := make([]types.Value, len(keyExprs))
+		var sb strings.Builder
+		for i, ke := range keyExprs {
+			v, err := ke(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte('|')
+		}
+		k := sb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: keyVals}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// Global aggregation over empty input still yields one group.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		k := ""
+		groups[k] = &group{}
+		order = append(order, k)
+	}
+
+	// Build output relation: one column per group-by expr, one per agg.
+	out := &relation{}
+	subst := make(map[string]sqlparser.ColRef)
+	for i, g := range s.GroupBy {
+		name := fmt.Sprintf("_g%d", i)
+		out.cols = append(out.cols, relCol{name: name})
+		subst[g.String()] = sqlparser.ColRef{Name: name}
+	}
+	for i, spec := range specs {
+		name := fmt.Sprintf("_a%d", i)
+		out.cols = append(out.cols, relCol{name: name})
+		subst[spec.call.String()] = sqlparser.ColRef{Name: name}
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		row := make(types.Row, 0, len(out.cols))
+		row = append(row, g.key...)
+		for _, spec := range specs {
+			v, err := e.computeAggregate(spec.name, spec.call, spec.args, spec.p, spec.n, g.rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, v)
+		}
+		out.rows = append(out.rows, row)
+	}
+
+	// Rewrite the Select to reference the aggregated columns.
+	rs := &sqlparser.Select{
+		Distinct: s.Distinct,
+		Limit:    s.Limit,
+	}
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, nil, fmt.Errorf("engine: SELECT * is not valid with GROUP BY")
+		}
+		alias := item.Alias
+		if alias == "" {
+			// Substitution renames columns to _gN/_aN; keep the original
+			// user-visible name for the output schema.
+			if cr, ok := item.Expr.(sqlparser.ColRef); ok {
+				alias = cr.Name
+			}
+		}
+		rs.Items = append(rs.Items, sqlparser.SelectItem{
+			Expr:  substExpr(item.Expr, subst),
+			Alias: alias,
+		})
+	}
+	if s.Having != nil {
+		rs.Having = substExpr(s.Having, subst)
+	}
+	for _, o := range s.OrderBy {
+		rs.OrderBy = append(rs.OrderBy, sqlparser.OrderItem{Expr: substExpr(o.Expr, subst), Desc: o.Desc})
+	}
+	return out, rs, nil
+}
+
+// computeAggregate evaluates one aggregate over a group's rows.
+func (e *Engine) computeAggregate(name string, call *sqlparser.FuncCall, args []compiledExpr, pV, nV types.Value, rows []types.Row) (types.Value, error) {
+	switch name {
+	case "count":
+		if call.Star {
+			return types.NewInt(int64(len(rows))), nil
+		}
+		if call.Distinct {
+			seen := make(map[string]bool)
+			for _, row := range rows {
+				v, err := args[0](row)
+				if err != nil {
+					return types.Null, err
+				}
+				if !v.IsNull() {
+					seen[v.GroupKey()] = true
+				}
+			}
+			return types.NewInt(int64(len(seen))), nil
+		}
+		var c int64
+		for _, row := range rows {
+			v, err := args[0](row)
+			if err != nil {
+				return types.Null, err
+			}
+			if !v.IsNull() {
+				c++
+			}
+		}
+		return types.NewInt(c), nil
+
+	case "sum":
+		return e.sumAggregate(call, args, rows)
+
+	case "avg":
+		sum, err := e.sumAggregate(call, args, rows)
+		if err != nil {
+			return types.Null, err
+		}
+		if sum.K == types.KindShare {
+			return types.Null, fmt.Errorf("engine: AVG over shares must be rewritten to SUM + COUNT")
+		}
+		var c int64
+		for _, row := range rows {
+			v, err := args[0](row)
+			if err != nil {
+				return types.Null, err
+			}
+			if !v.IsNull() {
+				c++
+			}
+		}
+		if c == 0 || sum.IsNull() {
+			return types.Null, nil
+		}
+		// Two extra decimal digits of precision, matching the proxy's
+		// decrypted-AVG convention (scale bookkeeping lives above us).
+		return types.Value{K: types.KindDecimal, I: sum.I * 100 / c}, nil
+
+	case "min", "max":
+		var best types.Value
+		for _, row := range rows {
+			v, err := args[0](row)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if v.K == types.KindShare {
+				return types.Null, fmt.Errorf("engine: MIN/MAX over shares requires sdb_min/sdb_max with an order token")
+			}
+			if best.IsNull() ||
+				(name == "min" && v.Compare(best) < 0) ||
+				(name == "max" && v.Compare(best) > 0) {
+				best = v
+			}
+		}
+		return best, nil
+
+	case "sdb_min", "sdb_max":
+		return e.secureExtreme(name == "sdb_min", args, pV, nV, rows)
+
+	default:
+		return types.Null, fmt.Errorf("engine: unknown aggregate %q", name)
+	}
+}
+
+func (e *Engine) sumAggregate(call *sqlparser.FuncCall, args []compiledExpr, rows []types.Row) (types.Value, error) {
+	var intSum int64
+	var shareSum *big.Int
+	kind := types.KindNull
+	seen := make(map[string]bool)
+	for _, row := range rows {
+		v, err := args[0](row)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if call.Distinct {
+			k := v.GroupKey()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		switch v.K {
+		case types.KindShare:
+			// Modular share sum: all inputs are under a common flat key
+			// (the proxy's rewrite guarantees it), so the sum is a share
+			// of the plaintext sum under that key.
+			if e.n == nil {
+				return types.Null, fmt.Errorf("engine: share SUM requires a configured modulus")
+			}
+			if shareSum == nil {
+				shareSum = new(big.Int)
+			}
+			shareSum.Add(shareSum, v.B)
+			shareSum.Mod(shareSum, e.n)
+			kind = types.KindShare
+		case types.KindInt, types.KindDecimal:
+			intSum += v.I
+			if kind != types.KindDecimal {
+				kind = v.K
+			}
+		default:
+			return types.Null, fmt.Errorf("engine: cannot SUM %s", v.K)
+		}
+	}
+	switch kind {
+	case types.KindNull:
+		return types.Null, nil
+	case types.KindShare:
+		return types.NewShare(shareSum), nil
+	default:
+		return types.Value{K: kind, I: intSum}, nil
+	}
+}
+
+// secureExtreme implements sdb_min / sdb_max over flat-key tags: pairwise
+// masked comparison (tag_c − tag_best)·mtag_c revealed with the flat
+// product token P (Q = 0 because flat keys do not involve the row id).
+// The winner's tag is returned, still encrypted under the flat key.
+func (e *Engine) secureExtreme(min bool, args []compiledExpr, pV, nV types.Value, rows []types.Row) (types.Value, error) {
+	if pV.K != types.KindShare || nV.K != types.KindShare {
+		return types.Null, fmt.Errorf("engine: sdb_min/sdb_max need hex p and n")
+	}
+	p, n := pV.B, nV.B
+	half := new(big.Int).Rsh(n, 1)
+	var bestTag *big.Int
+	for _, row := range rows {
+		tag, err := args[0](row)
+		if err != nil {
+			return types.Null, err
+		}
+		mtag, err := args[1](row)
+		if err != nil {
+			return types.Null, err
+		}
+		if tag.IsNull() {
+			continue
+		}
+		if tag.K != types.KindShare || mtag.K != types.KindShare {
+			return types.Null, fmt.Errorf("engine: sdb_min/sdb_max args must be shares")
+		}
+		if bestTag == nil {
+			bestTag = tag.B
+			continue
+		}
+		diff := secure.SubShares(tag.B, bestTag, n)
+		masked := secure.Multiply(diff, mtag.B, n)
+		revealed := secure.Multiply(masked, p, n)
+		sign := secure.MaskedSign(revealed, half)
+		if (min && sign < 0) || (!min && sign > 0) {
+			bestTag = tag.B
+		}
+	}
+	if bestTag == nil {
+		return types.Null, nil
+	}
+	return types.NewShare(bestTag), nil
+}
+
+// secureCompare orders two rows by their flat-key tags using per-pair mask
+// products: sign of (tagA − tagB)·mtagA·mtagB revealed with P = m_F·m_R².
+func secureCompare(tagA, mtagA, tagB, mtagB, pV, nV types.Value) (int, error) {
+	if tagA.K != types.KindShare || tagB.K != types.KindShare {
+		return 0, fmt.Errorf("engine: sdb_ord keys must be shares")
+	}
+	n := nV.B
+	diff := secure.SubShares(tagA.B, tagB.B, n)
+	masked := secure.Multiply(diff, mtagA.B, n)
+	masked = secure.Multiply(masked, mtagB.B, n)
+	revealed := secure.Multiply(masked, pV.B, n)
+	return secure.MaskedSign(revealed, new(big.Int).Rsh(n, 1)), nil
+}
+
+// substExpr structurally replaces sub-expressions whose String() matches a
+// key in subst with the corresponding column reference. Group-by
+// expressions and aggregate calls are substituted this way after
+// aggregation.
+func substExpr(ex sqlparser.Expr, subst map[string]sqlparser.ColRef) sqlparser.Expr {
+	if cr, ok := subst[ex.String()]; ok {
+		return cr
+	}
+	switch x := ex.(type) {
+	case *sqlparser.BinaryExpr:
+		return &sqlparser.BinaryExpr{Op: x.Op, L: substExpr(x.L, subst), R: substExpr(x.R, subst)}
+	case *sqlparser.UnaryExpr:
+		return &sqlparser.UnaryExpr{Op: x.Op, E: substExpr(x.E, subst)}
+	case *sqlparser.FuncCall:
+		out := &sqlparser.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, substExpr(a, subst))
+		}
+		return out
+	case *sqlparser.BetweenExpr:
+		return &sqlparser.BetweenExpr{E: substExpr(x.E, subst), Lo: substExpr(x.Lo, subst), Hi: substExpr(x.Hi, subst), Not: x.Not}
+	case *sqlparser.InExpr:
+		out := &sqlparser.InExpr{E: substExpr(x.E, subst), Not: x.Not}
+		for _, i := range x.List {
+			out.List = append(out.List, substExpr(i, subst))
+		}
+		return out
+	case *sqlparser.LikeExpr:
+		return &sqlparser.LikeExpr{E: substExpr(x.E, subst), Pattern: substExpr(x.Pattern, subst), Not: x.Not}
+	case *sqlparser.IsNullExpr:
+		return &sqlparser.IsNullExpr{E: substExpr(x.E, subst), Not: x.Not}
+	case *sqlparser.CaseExpr:
+		out := &sqlparser.CaseExpr{}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sqlparser.WhenClause{Cond: substExpr(w.Cond, subst), Then: substExpr(w.Then, subst)})
+		}
+		if x.Else != nil {
+			out.Else = substExpr(x.Else, subst)
+		}
+		return out
+	default:
+		return ex
+	}
+}

@@ -1,0 +1,282 @@
+// Package engine is the service provider's relational engine — the
+// substrate the paper instantiates with Spark SQL + Hive UDFs (§2.2). It
+// executes the SQL dialect of internal/sqlparser over internal/storage
+// tables with a registry of SDB UDFs (sdb_mul, sdb_keyupdate, sdb_sign, …)
+// and secure aggregates (share SUM, sdb_min/sdb_max) that operate purely on
+// encrypted shares, row helpers and proxy-issued tokens.
+//
+// The engine never holds key material: everything it can compute about
+// sensitive data is exactly what the tokens in the rewritten query let it
+// compute, which is the paper's security posture at the SP.
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"sdb/internal/sqlparser"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+// hidden per-table auxiliary column names exposed to rewritten queries.
+const (
+	// RowIDColumn is the SIES-encrypted row id (paper Fig. 1, "E(r)").
+	RowIDColumn = "row_id"
+	// HelperColumn is w = g^r mod n, exponentiated by tokens.
+	HelperColumn = "sdb_w"
+)
+
+// Engine executes statements against a catalog.
+type Engine struct {
+	catalog *storage.Catalog
+	// n is the public modulus used by the SDB UDFs; nil disables them.
+	n    *big.Int
+	half *big.Int
+}
+
+// New builds an engine over the catalog. n is the public SDB modulus (may
+// be nil for a plaintext-only deployment).
+func New(catalog *storage.Catalog, n *big.Int) *Engine {
+	e := &Engine{catalog: catalog, n: n}
+	if n != nil {
+		e.half = new(big.Int).Rsh(n, 1)
+	}
+	return e
+}
+
+// Catalog exposes the underlying catalog (used by upload paths and tests).
+func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
+
+// ResultColumn describes one output column.
+type ResultColumn struct {
+	Name string
+	Kind types.Kind
+}
+
+// Result is a materialised query result.
+type Result struct {
+	Columns []ResultColumn
+	Rows    []types.Row
+}
+
+// Execute runs a parsed statement.
+func (e *Engine) Execute(stmt sqlparser.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.CreateTable:
+		return e.execCreate(s)
+	case *sqlparser.Insert:
+		return e.execInsert(s)
+	case *sqlparser.Update:
+		return e.execUpdate(s)
+	case *sqlparser.Select:
+		return e.execSelect(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// execUpdate evaluates SET expressions against each (optionally filtered)
+// row and writes the results in place. The SDB proxy uses it for
+// server-side key rotation: UPDATE t SET v = sdb_keyupdate(v, sdb_w, p, q, n)
+// re-keys an entire stored column without the data ever leaving the SP or
+// being decrypted.
+func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
+	t, err := e.catalog.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	rel := scanTable(t, s.Table)
+	ctx := e.evalCtx()
+
+	type setOp struct {
+		colIdx int
+		expr   compiledExpr
+	}
+	var sets []setOp
+	for _, set := range s.Set {
+		idx := t.Schema.Find(set.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", s.Table, set.Column)
+		}
+		ce, err := compile(set.Expr, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setOp{colIdx: idx, expr: ce})
+	}
+	var where compiledExpr
+	if s.Where != nil {
+		if where, err = compile(s.Where, rel, ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	updated := 0
+	for i, row := range rel.rows {
+		if where != nil {
+			ok, err := where(row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok.Bool() {
+				continue
+			}
+		}
+		for _, set := range sets {
+			v, err := set.expr(row)
+			if err != nil {
+				return nil, err
+			}
+			v, err = coerceForColumn(v, t.Schema.Columns[set.colIdx])
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %q: %w", t.Schema.Columns[set.colIdx].Name, err)
+			}
+			t.Cols[set.colIdx][i] = v
+		}
+		updated++
+	}
+	return &Result{
+		Columns: []ResultColumn{{Name: "updated", Kind: types.KindInt}},
+		Rows:    []types.Row{{types.NewInt(int64(updated))}},
+	}, nil
+}
+
+// ExecuteSQL parses and runs one statement.
+func (e *Engine) ExecuteSQL(src string) (*Result, error) {
+	stmt, err := sqlparser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(stmt)
+}
+
+func (e *Engine) execCreate(s *sqlparser.CreateTable) (*Result, error) {
+	cols := make([]types.Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = types.Column{Name: c.Name, Type: c.Type}
+	}
+	schema, err := types.NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.catalog.Create(storage.NewTable(s.Name, schema)); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) execInsert(s *sqlparser.Insert) (*Result, error) {
+	t, err := e.catalog.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Column mapping: explicit list or schema order. The pseudo-columns
+	// row_id and sdb_w route to the table's auxiliary arrays; rewritten
+	// uploads from the proxy use them.
+	const (
+		auxRowID  = -2
+		auxHelper = -3
+	)
+	idx := make([]int, 0, t.Schema.Len())
+	if len(s.Columns) == 0 {
+		for i := range t.Schema.Columns {
+			idx = append(idx, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			switch {
+			case strings.EqualFold(name, RowIDColumn):
+				idx = append(idx, auxRowID)
+			case strings.EqualFold(name, HelperColumn):
+				idx = append(idx, auxHelper)
+			default:
+				i := t.Schema.Find(name)
+				if i < 0 {
+					return nil, fmt.Errorf("engine: table %q has no column %q", s.Table, name)
+				}
+				idx = append(idx, i)
+			}
+		}
+	}
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(idx) {
+			return nil, fmt.Errorf("engine: INSERT arity %d != %d columns", len(exprRow), len(idx))
+		}
+		row := make(types.Row, t.Schema.Len())
+		for i := range row {
+			row[i] = types.Null
+		}
+		var rowEnc, helper *big.Int
+		for k, ex := range exprRow {
+			v, err := evalConst(ex, e.evalCtx())
+			if err != nil {
+				return nil, err
+			}
+			switch idx[k] {
+			case auxRowID, auxHelper:
+				if v.K != types.KindShare {
+					return nil, fmt.Errorf("engine: %s requires a hex value", s.Columns[k])
+				}
+				if idx[k] == auxRowID {
+					rowEnc = v.B
+				} else {
+					helper = v.B
+				}
+				continue
+			}
+			col := t.Schema.Columns[idx[k]]
+			v, err = coerceForColumn(v, col)
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %q: %w", col.Name, err)
+			}
+			row[idx[k]] = v
+		}
+		if err := t.Append(row, rowEnc, helper); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{}, nil
+}
+
+// coerceForColumn adapts literal kinds to the column type: ints widen to
+// decimals (scaled), strings parse to dates, decimal literals rescale, and
+// hex shares land in sensitive columns.
+func coerceForColumn(v types.Value, col types.Column) (types.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	if col.Type.Sensitive {
+		if v.K == types.KindShare {
+			return v, nil
+		}
+		return v, fmt.Errorf("sensitive column accepts only encrypted shares, got %s", v.K)
+	}
+	want := col.Type.Kind
+	switch {
+	case v.K == want:
+		return v, nil
+	case want == types.KindDecimal && v.K == types.KindInt:
+		return types.NewDecimal(v.I * pow10(col.Type.Scale)), nil
+	case want == types.KindDate && v.K == types.KindString:
+		return types.ParseDate(v.S)
+	case want == types.KindInt && v.K == types.KindDecimal:
+		return v, fmt.Errorf("decimal literal in INT column")
+	case want == types.KindShare && v.K == types.KindShare:
+		return v, nil
+	}
+	return v, fmt.Errorf("cannot store %s into %s column", v.K, want)
+}
+
+func pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+func (e *Engine) evalCtx() *evalCtx {
+	return &evalCtx{n: e.n, half: e.half}
+}

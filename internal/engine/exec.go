@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
+	rel, err := e.buildFrom(s.From)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+
+	// WHERE
+	if s.Where != nil {
+		pred, err := compile(s.Where, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		filtered := rel.rows[:0:0]
+		for _, row := range rel.rows {
+			ok, err := pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if ok.Bool() {
+				filtered = append(filtered, row)
+			}
+		}
+		rel = &relation{cols: rel.cols, rows: filtered}
+	}
+
+	// Aggregation?
+	aggs := collectAggregates(s)
+	if len(aggs) > 0 || len(s.GroupBy) > 0 {
+		var err error
+		rel, s, err = e.aggregate(rel, s, aggs)
+		if err != nil {
+			return nil, err
+		}
+		// HAVING runs over the aggregated relation (aggregate calls were
+		// substituted with column refs by e.aggregate).
+		if s.Having != nil {
+			pred, err := compile(s.Having, rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			kept := rel.rows[:0:0]
+			for _, row := range rel.rows {
+				ok, err := pred(row)
+				if err != nil {
+					return nil, err
+				}
+				if ok.Bool() {
+					kept = append(kept, row)
+				}
+			}
+			rel = &relation{cols: rel.cols, rows: kept}
+		}
+	} else if s.Having != nil {
+		return nil, fmt.Errorf("engine: HAVING without aggregation")
+	}
+
+	// Projection.
+	outCols, outExprs, err := e.projection(s, rel)
+	if err != nil {
+		return nil, err
+	}
+	outRows := make([]types.Row, len(rel.rows))
+	for i, row := range rel.rows {
+		out := make(types.Row, len(outExprs))
+		for c, ex := range outExprs {
+			v, err := ex(row)
+			if err != nil {
+				return nil, err
+			}
+			out[c] = v
+		}
+		outRows[i] = out
+	}
+
+	// ORDER BY: evaluated against the pre-projection relation, with
+	// aliases resolving to projected columns.
+	if len(s.OrderBy) > 0 {
+		outRows, err = e.orderBy(s, rel, outCols, outRows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := make(map[string]bool, len(outRows))
+		uniq := outRows[:0:0]
+		for _, row := range outRows {
+			key := rowKey(row)
+			if !seen[key] {
+				seen[key] = true
+				uniq = append(uniq, row)
+			}
+		}
+		outRows = uniq
+	}
+
+	// LIMIT.
+	if s.Limit != nil && int64(len(outRows)) > *s.Limit {
+		outRows = outRows[:*s.Limit]
+	}
+
+	// Column kinds: infer from the first non-null value.
+	res := &Result{Columns: outCols, Rows: outRows}
+	for c := range res.Columns {
+		for _, row := range outRows {
+			if !row[c].IsNull() {
+				res.Columns[c].Kind = row[c].K
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// projection expands stars and compiles the select list.
+func (e *Engine) projection(s *sqlparser.Select, rel *relation) ([]ResultColumn, []compiledExpr, error) {
+	ctx := e.evalCtx()
+	var cols []ResultColumn
+	var exprs []compiledExpr
+	for _, item := range s.Items {
+		if item.Star {
+			for i, c := range rel.cols {
+				if c.hidden {
+					continue
+				}
+				idx := i
+				cols = append(cols, ResultColumn{Name: c.name, Kind: c.kind})
+				exprs = append(exprs, func(row types.Row) (types.Value, error) {
+					return row[idx], nil
+				})
+			}
+			continue
+		}
+		ce, err := compile(item.Expr, rel, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(sqlparser.ColRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("_col%d", len(cols))
+			}
+		}
+		cols = append(cols, ResultColumn{Name: strings.ToLower(name)})
+		exprs = append(exprs, ce)
+	}
+	return cols, exprs, nil
+}
+
+// orderBy sorts the projected rows. Order keys may reference output
+// aliases, ordinals, arbitrary expressions over the pre-projection
+// relation, or the secure comparator sdb_ord(tag, mtag, p, n).
+func (e *Engine) orderBy(s *sqlparser.Select, rel *relation, outCols []ResultColumn, outRows []types.Row) ([]types.Row, error) {
+	type keyFn struct {
+		desc bool
+		// plain: value per (projected row index)
+		vals []types.Value
+		// secure comparator inputs per row (tags/mtags under flat keys)
+		secTags, secMasks []types.Value
+		secP              types.Value
+		secN              types.Value
+	}
+	ctx := e.evalCtx()
+	n := len(outRows)
+	keys := make([]keyFn, 0, len(s.OrderBy))
+
+	for _, item := range s.OrderBy {
+		k := keyFn{desc: item.Desc}
+		if fc, ok := item.Expr.(*sqlparser.FuncCall); ok && strings.EqualFold(fc.Name, "sdb_ord") {
+			if len(fc.Args) != 4 {
+				return nil, fmt.Errorf("engine: sdb_ord expects (tag, mtag, p, n)")
+			}
+			tagE, err := compile(fc.Args[0], rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			maskE, err := compile(fc.Args[1], rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			pV, err := evalConst(fc.Args[2], ctx)
+			if err != nil {
+				return nil, err
+			}
+			nV, err := evalConst(fc.Args[3], ctx)
+			if err != nil {
+				return nil, err
+			}
+			k.secTags = make([]types.Value, n)
+			k.secMasks = make([]types.Value, n)
+			k.secP, k.secN = pV, nV
+			for i, row := range rel.rows {
+				if k.secTags[i], err = tagE(row); err != nil {
+					return nil, err
+				}
+				if k.secMasks[i], err = maskE(row); err != nil {
+					return nil, err
+				}
+			}
+			keys = append(keys, k)
+			continue
+		}
+
+		// Alias or projected-column reference?
+		resolved := false
+		if cr, ok := item.Expr.(sqlparser.ColRef); ok && cr.Table == "" {
+			for c, oc := range outCols {
+				if strings.EqualFold(oc.Name, cr.Name) {
+					k.vals = make([]types.Value, n)
+					for i := range outRows {
+						k.vals[i] = outRows[i][c]
+					}
+					resolved = true
+					break
+				}
+			}
+		}
+		if !resolved {
+			ce, err := compile(item.Expr, rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			k.vals = make([]types.Value, n)
+			for i, row := range rel.rows {
+				if k.vals[i], err = ce(row); err != nil {
+					return nil, err
+				}
+			}
+		}
+		keys = append(keys, k)
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, k := range keys {
+			var c int
+			if k.vals != nil {
+				c = k.vals[ia].Compare(k.vals[ib])
+			} else {
+				var err error
+				c, err = secureCompare(k.secTags[ia], k.secMasks[ia], k.secTags[ib], k.secMasks[ib], k.secP, k.secN)
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+			}
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	sorted := make([]types.Row, n)
+	for i, j := range idx {
+		sorted[i] = outRows[j]
+	}
+	return sorted, nil
+}
+
+func rowKey(row types.Row) string {
+	var sb strings.Builder
+	for _, v := range row {
+		sb.WriteString(v.GroupKey())
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}

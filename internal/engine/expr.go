@@ -1,0 +1,708 @@
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"sdb/internal/secure"
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// evalCtx carries the public modulus into UDF evaluation.
+type evalCtx struct {
+	n    *big.Int
+	half *big.Int
+}
+
+// compiledExpr evaluates against a bound row.
+type compiledExpr func(row types.Row) (types.Value, error)
+
+// compile binds an expression against a relation's columns.
+func compile(ex sqlparser.Expr, rel *relation, ctx *evalCtx) (compiledExpr, error) {
+	switch x := ex.(type) {
+	case sqlparser.IntLit:
+		v := types.NewInt(x.V)
+		return constExpr(v), nil
+	case sqlparser.DecLit:
+		v := types.NewDecimal(x.Scaled)
+		return constExpr(v), nil
+	case sqlparser.StrLit:
+		v := types.NewString(x.V)
+		return constExpr(v), nil
+	case sqlparser.DateLit:
+		v := types.NewDate(x.Days)
+		return constExpr(v), nil
+	case sqlparser.BoolLit:
+		v := types.NewBool(x.V)
+		return constExpr(v), nil
+	case sqlparser.NullLit:
+		return constExpr(types.Null), nil
+	case sqlparser.HexLit:
+		v := types.NewShare(x.V)
+		return constExpr(v), nil
+
+	case sqlparser.ColRef:
+		idx, err := rel.resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			return row[idx], nil
+		}, nil
+
+	case *sqlparser.BinaryExpr:
+		return compileBinary(x, rel, ctx)
+
+	case *sqlparser.UnaryExpr:
+		inner, err := compile(x.E, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			return func(row types.Row) (types.Value, error) {
+				v, err := inner(row)
+				if err != nil || v.IsNull() {
+					return types.Null, err
+				}
+				if x, ok := negBig(v, ctx); ok {
+					return x, nil
+				}
+				if !numericKind(v.K) {
+					return types.Null, fmt.Errorf("engine: cannot negate %s", v.K)
+				}
+				v.I = -v.I
+				return v, nil
+			}, nil
+		case "NOT":
+			return func(row types.Row) (types.Value, error) {
+				v, err := inner(row)
+				if err != nil {
+					return types.Null, err
+				}
+				return types.NewBool(!v.Bool()), nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("engine: unknown unary op %q", x.Op)
+		}
+
+	case *sqlparser.BetweenExpr:
+		e, err := compile(x.E, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compile(x.Lo, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compile(x.Hi, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			v, err := e(row)
+			if err != nil {
+				return types.Null, err
+			}
+			l, err := lo(row)
+			if err != nil {
+				return types.Null, err
+			}
+			h, err := hi(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.IsNull() || l.IsNull() || h.IsNull() {
+				return types.NewBool(false), nil
+			}
+			in := v.Compare(l) >= 0 && v.Compare(h) <= 0
+			return types.NewBool(in != x.Not), nil
+		}, nil
+
+	case *sqlparser.InExpr:
+		e, err := compile(x.E, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]compiledExpr, len(x.List))
+		for i, it := range x.List {
+			if items[i], err = compile(it, rel, ctx); err != nil {
+				return nil, err
+			}
+		}
+		return func(row types.Row) (types.Value, error) {
+			v, err := e(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.IsNull() {
+				return types.NewBool(false), nil
+			}
+			found := false
+			for _, it := range items {
+				iv, err := it(row)
+				if err != nil {
+					return types.Null, err
+				}
+				if !iv.IsNull() && compatibleKinds(v.K, iv.K) && v.Compare(iv) == 0 {
+					found = true
+					break
+				}
+			}
+			return types.NewBool(found != x.Not), nil
+		}, nil
+
+	case *sqlparser.LikeExpr:
+		e, err := compile(x.E, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := compile(x.Pattern, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			v, err := e(row)
+			if err != nil {
+				return types.Null, err
+			}
+			p, err := pat(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.K != types.KindString || p.K != types.KindString {
+				return types.NewBool(false), nil
+			}
+			return types.NewBool(likeMatch(v.S, p.S) != x.Not), nil
+		}, nil
+
+	case *sqlparser.IsNullExpr:
+		e, err := compile(x.E, rel, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			v, err := e(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(v.IsNull() != x.Not), nil
+		}, nil
+
+	case *sqlparser.CaseExpr:
+		type arm struct{ cond, then compiledExpr }
+		arms := make([]arm, len(x.Whens))
+		for i, w := range x.Whens {
+			c, err := compile(w.Cond, rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			t, err := compile(w.Then, rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{c, t}
+		}
+		var elseE compiledExpr
+		if x.Else != nil {
+			var err error
+			if elseE, err = compile(x.Else, rel, ctx); err != nil {
+				return nil, err
+			}
+		}
+		return func(row types.Row) (types.Value, error) {
+			for _, a := range arms {
+				c, err := a.cond(row)
+				if err != nil {
+					return types.Null, err
+				}
+				if c.Bool() {
+					return a.then(row)
+				}
+			}
+			if elseE != nil {
+				return elseE(row)
+			}
+			return types.Null, nil
+		}, nil
+
+	case *sqlparser.FuncCall:
+		return compileFunc(x, rel, ctx)
+
+	default:
+		return nil, fmt.Errorf("engine: unsupported expression %T", ex)
+	}
+}
+
+func constExpr(v types.Value) compiledExpr {
+	return func(types.Row) (types.Value, error) { return v, nil }
+}
+
+// negBig handles negation of share-typed hex literals (token Q values).
+func negBig(v types.Value, _ *evalCtx) (types.Value, bool) {
+	if v.K == types.KindShare {
+		return types.NewShare(new(big.Int).Neg(v.B)), true
+	}
+	return types.Null, false
+}
+
+func numericKind(k types.Kind) bool {
+	return k == types.KindInt || k == types.KindDecimal || k == types.KindDate
+}
+
+// compatibleKinds reports whether two kinds may be compared.
+func compatibleKinds(a, b types.Kind) bool {
+	if a == b {
+		return true
+	}
+	return numericKind(a) && numericKind(b)
+}
+
+func compileBinary(x *sqlparser.BinaryExpr, rel *relation, ctx *evalCtx) (compiledExpr, error) {
+	l, err := compile(x.L, rel, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compile(x.R, rel, ctx)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	switch op {
+	case "AND":
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if !lv.Bool() {
+				return types.NewBool(false), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(rv.Bool()), nil
+		}, nil
+	case "OR":
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if lv.Bool() {
+				return types.NewBool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(rv.Bool()), nil
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.NewBool(false), nil
+			}
+			if !compatibleKinds(lv.K, rv.K) {
+				return types.Null, fmt.Errorf("engine: cannot compare %s with %s", lv.K, rv.K)
+			}
+			c := lv.Compare(rv)
+			var out bool
+			switch op {
+			case "=":
+				out = c == 0
+			case "!=":
+				out = c != 0
+			case "<":
+				out = c < 0
+			case "<=":
+				out = c <= 0
+			case ">":
+				out = c > 0
+			case ">=":
+				out = c >= 0
+			}
+			return types.NewBool(out), nil
+		}, nil
+	case "+", "-", "*", "/", "%":
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null, nil
+			}
+			return arith(op, lv, rv)
+		}, nil
+	case "||":
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewString(lv.String() + rv.String()), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown operator %q", op)
+	}
+}
+
+// arith performs plaintext int64-backed arithmetic. The result kind is
+// decimal if either side is decimal, date if date±int, else int. Scale
+// bookkeeping happens at the proxy; the engine works on scaled integers.
+func arith(op string, a, b types.Value) (types.Value, error) {
+	if !numericKind(a.K) || !numericKind(b.K) {
+		return types.Null, fmt.Errorf("engine: %s %s %s not numeric", a.K, op, b.K)
+	}
+	outKind := types.KindInt
+	if a.K == types.KindDecimal || b.K == types.KindDecimal {
+		outKind = types.KindDecimal
+	}
+	if a.K == types.KindDate || b.K == types.KindDate {
+		outKind = types.KindDate
+		if op == "-" && a.K == types.KindDate && b.K == types.KindDate {
+			outKind = types.KindInt // date difference is days
+		}
+	}
+	var v int64
+	switch op {
+	case "+":
+		v = a.I + b.I
+	case "-":
+		v = a.I - b.I
+	case "*":
+		v = a.I * b.I
+	case "/":
+		if b.I == 0 {
+			return types.Null, nil
+		}
+		v = a.I / b.I
+	case "%":
+		if b.I == 0 {
+			return types.Null, nil
+		}
+		v = a.I % b.I
+	}
+	return types.Value{K: outKind, I: v}, nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
+	}
+}
+
+// compileFunc handles scalar functions, including the SDB UDFs. Aggregates
+// are intercepted earlier by the aggregation planner; reaching one here is
+// a mis-placed aggregate.
+func compileFunc(x *sqlparser.FuncCall, rel *relation, ctx *evalCtx) (compiledExpr, error) {
+	if isAggregateName(x.Name) {
+		return nil, fmt.Errorf("engine: aggregate %s not allowed here", x.Name)
+	}
+	args := make([]compiledExpr, len(x.Args))
+	for i, a := range x.Args {
+		var err error
+		if args[i], err = compile(a, rel, ctx); err != nil {
+			return nil, err
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("engine: %s expects %d args, got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	shareArg := func(row types.Row, i int) (*big.Int, error) {
+		v, err := args[i](row)
+		if err != nil {
+			return nil, err
+		}
+		if v.K != types.KindShare {
+			return nil, fmt.Errorf("engine: %s arg %d must be a share, got %s", x.Name, i+1, v.K)
+		}
+		return v.B, nil
+	}
+
+	switch strings.ToLower(x.Name) {
+	// ---- SDB UDFs (all arithmetic is over the modulus passed in-query,
+	// exactly as the paper's sdb_multiply(Ae, Be, n)).
+	case "sdb_mul":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			a, err := shareArg(row, 0)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := shareArg(row, 1)
+			if err != nil {
+				return types.Null, err
+			}
+			n, err := shareArg(row, 2)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewShare(secure.Multiply(a, b, n)), nil
+		}, nil
+
+	case "sdb_add", "sdb_sub":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		sub := strings.EqualFold(x.Name, "sdb_sub")
+		return func(row types.Row) (types.Value, error) {
+			a, err := shareArg(row, 0)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := shareArg(row, 1)
+			if err != nil {
+				return types.Null, err
+			}
+			n, err := shareArg(row, 2)
+			if err != nil {
+				return types.Null, err
+			}
+			if sub {
+				return types.NewShare(secure.SubShares(a, b, n)), nil
+			}
+			return types.NewShare(secure.AddShares(a, b, n)), nil
+		}, nil
+
+	case "sdb_scale":
+		// sdb_scale(ve, plain, n): multiply a share by a plaintext value
+		// (e.g. an insensitive column). ve = v·vk⁻¹, so p·ve is a share of
+		// p·v under the SAME column key — zero key bookkeeping.
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			ve, err := shareArg(row, 0)
+			if err != nil {
+				return types.Null, err
+			}
+			pv, err := args[1](row)
+			if err != nil {
+				return types.Null, err
+			}
+			if !numericKind(pv.K) {
+				return types.Null, fmt.Errorf("engine: sdb_scale needs a numeric plaintext, got %s", pv.K)
+			}
+			n, err := shareArg(row, 2)
+			if err != nil {
+				return types.Null, err
+			}
+			p := new(big.Int).Mod(big.NewInt(pv.I), n)
+			return types.NewShare(secure.Multiply(ve, p, n)), nil
+		}, nil
+
+	case "sdb_keyupdate":
+		// sdb_keyupdate(ve, w, p, q, n)
+		if err := need(5); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			ve, err := shareArg(row, 0)
+			if err != nil {
+				return types.Null, err
+			}
+			w, err := shareArg(row, 1)
+			if err != nil {
+				return types.Null, err
+			}
+			p, err := shareArg(row, 2)
+			if err != nil {
+				return types.Null, err
+			}
+			q, err := shareArg(row, 3)
+			if err != nil {
+				return types.Null, err
+			}
+			n, err := shareArg(row, 4)
+			if err != nil {
+				return types.Null, err
+			}
+			tok := secure.Token{P: p, Q: q}
+			return types.NewShare(secure.ApplyToken(tok, ve, w, n)), nil
+		}, nil
+
+	case "sdb_const":
+		// sdb_const(w, p, q, n): materialise a share of a constant.
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			w, err := shareArg(row, 0)
+			if err != nil {
+				return types.Null, err
+			}
+			p, err := shareArg(row, 1)
+			if err != nil {
+				return types.Null, err
+			}
+			q, err := shareArg(row, 2)
+			if err != nil {
+				return types.Null, err
+			}
+			n, err := shareArg(row, 3)
+			if err != nil {
+				return types.Null, err
+			}
+			tok := secure.Token{P: p, Q: q, Base: true}
+			return types.NewShare(secure.ApplyToken(tok, nil, w, n)), nil
+		}, nil
+
+	case "sdb_sign":
+		// sdb_sign(ve, w, p, q, n): reveal a masked difference, return its
+		// sign in {-1, 0, 1}. This is the comparison protocol's only
+		// plaintext output.
+		if err := need(5); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			ve, err := shareArg(row, 0)
+			if err != nil {
+				return types.Null, err
+			}
+			w, err := shareArg(row, 1)
+			if err != nil {
+				return types.Null, err
+			}
+			p, err := shareArg(row, 2)
+			if err != nil {
+				return types.Null, err
+			}
+			q, err := shareArg(row, 3)
+			if err != nil {
+				return types.Null, err
+			}
+			n, err := shareArg(row, 4)
+			if err != nil {
+				return types.Null, err
+			}
+			tok := secure.Token{P: p, Q: q}
+			revealed := secure.ApplyToken(tok, ve, w, n)
+			half := new(big.Int).Rsh(n, 1)
+			return types.NewInt(int64(secure.MaskedSign(revealed, half))), nil
+		}, nil
+
+	// ---- plaintext scalar helpers used by the TPC-H workload.
+	case "year":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return types.Null, err
+			}
+			if v.K != types.KindDate {
+				return types.Null, fmt.Errorf("engine: year() needs DATE, got %s", v.K)
+			}
+			return types.NewInt(int64(time.Unix(v.I*86400, 0).UTC().Year())), nil
+		}, nil
+
+	case "substr", "substring":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			s, err := args[0](row)
+			if err != nil || s.IsNull() {
+				return types.Null, err
+			}
+			from, err := args[1](row)
+			if err != nil {
+				return types.Null, err
+			}
+			length, err := args[2](row)
+			if err != nil {
+				return types.Null, err
+			}
+			str := s.S
+			start := int(from.I) - 1 // SQL is 1-based
+			if start < 0 {
+				start = 0
+			}
+			if start > len(str) {
+				return types.NewString(""), nil
+			}
+			end := start + int(length.I)
+			if end > len(str) {
+				end = len(str)
+			}
+			return types.NewString(str[start:end]), nil
+		}, nil
+
+	case "length":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			v, err := args[0](row)
+			if err != nil || v.IsNull() {
+				return types.Null, err
+			}
+			return types.NewInt(int64(len(v.S))), nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unknown function %q", x.Name)
+	}
+}
+
+// evalConst evaluates an expression with no column references.
+func evalConst(ex sqlparser.Expr, ctx *evalCtx) (types.Value, error) {
+	empty := &relation{}
+	c, err := compile(ex, empty, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	return c(nil)
+}
+
+// EvalConstExpr evaluates a constant expression (no column references).
+// The proxy's rewriter uses it to fold literals.
+func EvalConstExpr(ex sqlparser.Expr) (types.Value, error) {
+	return evalConst(ex, &evalCtx{})
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"sdb/internal/sqlparser"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+func TestRelationResolveAmbiguity(t *testing.T) {
+	rel := &relation{cols: []relCol{
+		{qual: "a", name: "x"},
+		{qual: "b", name: "x"},
+		{qual: "a", name: "y"},
+	}}
+	if _, err := rel.resolve("", "x"); err == nil {
+		t.Error("unqualified ambiguous reference should fail")
+	}
+	idx, err := rel.resolve("b", "x")
+	if err != nil || idx != 1 {
+		t.Errorf("resolve(b.x) = %d, %v", idx, err)
+	}
+	if _, err := rel.resolve("", "nope"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := rel.resolve("c", "x"); err == nil {
+		t.Error("missing qualifier should fail")
+	}
+}
+
+func TestScanTableExposesAuxAsHidden(t *testing.T) {
+	schema, _ := types.NewSchema([]types.Column{
+		{Name: "a", Type: types.ColumnType{Kind: types.KindInt}},
+	})
+	tbl := storage.NewTable("t", schema)
+	if err := tbl.Append(types.Row{types.NewInt(1)}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rel := scanTable(tbl, "alias")
+	if len(rel.cols) != 3 {
+		t.Fatalf("cols: %+v", rel.cols)
+	}
+	if !rel.cols[1].hidden || !rel.cols[2].hidden {
+		t.Error("aux columns must be hidden")
+	}
+	if rel.cols[0].qual != "alias" {
+		t.Errorf("qualifier: %q", rel.cols[0].qual)
+	}
+}
+
+func TestCrossJoinCardinality(t *testing.T) {
+	a := &relation{
+		cols: []relCol{{qual: "a", name: "x"}},
+		rows: []types.Row{{types.NewInt(1)}, {types.NewInt(2)}},
+	}
+	b := &relation{
+		cols: []relCol{{qual: "b", name: "y"}},
+		rows: []types.Row{{types.NewInt(10)}, {types.NewInt(20)}, {types.NewInt(30)}},
+	}
+	j := crossJoin(a, b)
+	if len(j.rows) != 6 || len(j.cols) != 2 {
+		t.Errorf("cross join: %d rows, %d cols", len(j.rows), len(j.cols))
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	e := mustExpr(t, "a = 1 AND b = 2 AND (c = 3 OR d = 4)")
+	conj, _ := splitConjuncts(e)
+	if len(conj) != 3 {
+		t.Errorf("conjuncts: %d", len(conj))
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%lo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_zlo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "%a%b%c%", true},
+		{"PROMO BRUSHED", "PROMO%", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func mustExpr(t *testing.T, src string) sqlparser.Expr {
+	t.Helper()
+	parsed, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parsed
+}

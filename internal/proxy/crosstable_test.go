@@ -1,0 +1,89 @@
+package proxy
+
+import (
+	"strings"
+	"testing"
+)
+
+// crossSystem builds two encrypted tables for cross-table expression tests.
+func crossSystem(t *testing.T) *Proxy {
+	t.Helper()
+	p, _ := testSystem(t)
+	mustP(t, p, `CREATE TABLE holdings (hid INT, sym STRING, qty INT SENSITIVE)`)
+	mustP(t, p, `CREATE TABLE prices (sym STRING, px INT SENSITIVE)`)
+	mustP(t, p, `INSERT INTO holdings VALUES (1, 'AAA', 10), (2, 'BBB', 5), (3, 'AAA', -2)`)
+	mustP(t, p, `INSERT INTO prices VALUES ('AAA', 100), ('BBB', 30)`)
+	return p
+}
+
+// TestCrossTableProduct exercises the multi-factor decryption path: the
+// product qty·px has an item key spanning BOTH tables' row ids, so the
+// rewritten query ships two row-id columns and the proxy multiplies two
+// regenerated item keys (the paper's Eq. 4 generalised to products).
+func TestCrossTableProduct(t *testing.T) {
+	p := crossSystem(t)
+	res := mustP(t, p, `SELECT h.hid, h.qty * pr.px AS value
+		FROM holdings h JOIN prices pr ON h.sym = pr.sym ORDER BY h.hid`)
+	wantInts(t, colInts(res, 1), 1000, 150, -200)
+	// Two distinct row-id columns must travel in the rewritten query.
+	if strings.Count(res.Stats.RewrittenSQL, "row_id") != 2 {
+		t.Errorf("expected 2 row-id columns in: %s", res.Stats.RewrittenSQL)
+	}
+}
+
+func TestCrossTableSum(t *testing.T) {
+	// SUM over a cross-table product: the rewriter flattens the two-factor
+	// share with one key update per factor, then modular-sums.
+	p := crossSystem(t)
+	res := mustP(t, p, `SELECT SUM(h.qty * pr.px) FROM holdings h JOIN prices pr ON h.sym = pr.sym`)
+	wantInts(t, colInts(res, 0), 1000+150-200)
+}
+
+func TestCrossTableAddition(t *testing.T) {
+	// Addition across tables collapses to a fresh flat key.
+	p := crossSystem(t)
+	res := mustP(t, p, `SELECT h.qty + pr.px AS s FROM holdings h JOIN prices pr ON h.sym = pr.sym ORDER BY s`)
+	wantInts(t, colInts(res, 0), 35, 98, 110)
+}
+
+func TestCrossTableComparison(t *testing.T) {
+	// qty < px compares shares under different tables' keys.
+	p := crossSystem(t)
+	res := mustP(t, p, `SELECT h.hid FROM holdings h JOIN prices pr ON h.sym = pr.sym
+		WHERE h.qty < pr.px ORDER BY h.hid`)
+	wantInts(t, colInts(res, 0), 1, 2, 3)
+	res = mustP(t, p, `SELECT h.hid FROM holdings h JOIN prices pr ON h.sym = pr.sym
+		WHERE h.qty * 20 > pr.px ORDER BY h.hid`)
+	wantInts(t, colInts(res, 0), 1, 2)
+}
+
+func TestCrossTableGroupBy(t *testing.T) {
+	// Group by a sensitive column of one table, aggregate a cross-table
+	// product.
+	p := crossSystem(t)
+	res := mustP(t, p, `SELECT pr.px, SUM(h.qty) FROM holdings h JOIN prices pr ON h.sym = pr.sym
+		GROUP BY pr.px ORDER BY pr.px`)
+	wantInts(t, colInts(res, 0), 30, 100)
+	wantInts(t, colInts(res, 1), 5, 8)
+}
+
+func TestSelfJoinDistinctAliases(t *testing.T) {
+	// The same table under two aliases must keep distinct row-id columns.
+	p := crossSystem(t)
+	res := mustP(t, p, `SELECT a.hid, b.hid, a.qty * b.qty AS prod
+		FROM holdings a JOIN holdings b ON a.sym = b.sym
+		WHERE a.hid < b.hid ORDER BY a.hid`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if res.Rows[0][2].I != -20 { // 10 * -2
+		t.Errorf("self-join product: %v", res.Rows[0])
+	}
+}
+
+func TestNullSensitiveRejectedAtInsert(t *testing.T) {
+	p := crossSystem(t)
+	if _, err := p.Exec(`INSERT INTO prices VALUES ('CCC', NULL)`); err == nil {
+		t.Error("NULL into a sensitive column should be rejected (shares cannot encode NULL)")
+	}
+}

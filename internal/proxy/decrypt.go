@@ -1,0 +1,179 @@
+package proxy
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"sdb/internal/engine"
+	"sdb/internal/secure"
+	"sdb/internal/types"
+)
+
+// decryptResult turns an encrypted server result into plaintext per the
+// select plan, then applies deferred ordering and limits.
+func (p *Proxy) decryptResult(srv *engine.Result, plan *selectPlan) (*Result, error) {
+	if len(srv.Columns) != len(plan.out) {
+		return nil, fmt.Errorf("proxy: server returned %d columns, plan expects %d", len(srv.Columns), len(plan.out))
+	}
+	// Cache decrypted row ids per (alias, row index).
+	ridCache := make(map[string]secure.RowID)
+
+	rows := make([]types.Row, len(srv.Rows))
+	for i, srvRow := range srv.Rows {
+		row := make(types.Row, len(plan.out))
+		for c := range plan.out {
+			oc := &plan.out[c]
+			v := srvRow[c]
+			switch oc.mode {
+			case omPlain:
+				row[c] = v
+
+			case omFlat:
+				if v.IsNull() {
+					row[c] = types.Null
+					continue
+				}
+				if v.K != types.KindShare {
+					return nil, fmt.Errorf("proxy: column %q: expected share, got %s", oc.name, v.K)
+				}
+				d, err := p.secret.DecryptFlat(v.B, oc.flatKey)
+				if err != nil {
+					return nil, err
+				}
+				pv, err := toValue(d, oc.kind)
+				if err != nil {
+					return nil, fmt.Errorf("proxy: column %q: %w", oc.name, err)
+				}
+				row[c] = pv
+
+			case omRowKey:
+				if v.IsNull() {
+					row[c] = types.Null
+					continue
+				}
+				if v.K != types.KindShare {
+					return nil, fmt.Errorf("proxy: column %q: expected share, got %s", oc.name, v.K)
+				}
+				vk := big.NewInt(1)
+				for _, f := range oc.factors {
+					var rid secure.RowID
+					if f.alias == "" {
+						// Flat factor inside a product: contributes m only.
+						vk.Mul(vk, f.key.M)
+						vk.Mod(vk, p.secret.N())
+						continue
+					}
+					ridIdx, ok := oc.ridCols[f.alias]
+					if !ok || ridIdx < 0 {
+						return nil, fmt.Errorf("proxy: missing row-id column for alias %q", f.alias)
+					}
+					cacheKey := fmt.Sprintf("%s|%d", f.alias, i)
+					if cached, ok := ridCache[cacheKey]; ok {
+						rid = cached
+					} else {
+						packed := srvRow[ridIdx]
+						if packed.K != types.KindShare {
+							return nil, fmt.Errorf("proxy: row-id column for %q is not a share", f.alias)
+						}
+						var err error
+						rid, err = p.decryptRowID(packed.B)
+						if err != nil {
+							return nil, err
+						}
+						ridCache[cacheKey] = rid
+					}
+					ik := p.secret.ItemKey(rid, f.key)
+					vk.Mul(vk, ik)
+					vk.Mod(vk, p.secret.N())
+				}
+				plain := p.secret.Domain().Decode(new(big.Int).Mod(new(big.Int).Mul(v.B, vk), p.secret.N()))
+				pv, err := toValue(plain, oc.kind)
+				if err != nil {
+					return nil, fmt.Errorf("proxy: column %q: %w", oc.name, err)
+				}
+				row[c] = pv
+
+			case omAvg:
+				if v.IsNull() {
+					row[c] = types.Null
+					continue
+				}
+				sum, err := p.secret.DecryptFlat(v.B, oc.flatKey)
+				if err != nil {
+					return nil, err
+				}
+				cnt := srvRow[oc.cntIdx]
+				if cnt.IsNull() || cnt.I == 0 {
+					row[c] = types.Null
+					continue
+				}
+				// Two extra decimal digits of precision for the mean.
+				q := new(big.Int).Mul(sum, big.NewInt(100))
+				q.Quo(q, big.NewInt(cnt.I))
+				if !q.IsInt64() {
+					return nil, fmt.Errorf("proxy: AVG overflow in column %q", oc.name)
+				}
+				row[c] = types.Value{K: types.KindDecimal, I: q.Int64()}
+			}
+		}
+		rows[i] = row
+	}
+
+	// Deferred ORDER BY (encrypted sort keys are plaintext now).
+	if len(plan.postOrder) > 0 {
+		keys := plan.postOrder
+		sort.SliceStable(rows, func(a, b int) bool {
+			for _, k := range keys {
+				c := rows[a][k.srvIdx].Compare(rows[b][k.srvIdx])
+				if c == 0 {
+					continue
+				}
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if plan.postLimit != nil && int64(len(rows)) > *plan.postLimit {
+		rows = rows[:*plan.postLimit]
+	}
+
+	// Strip hidden columns (row ids, deferred order keys, AVG counts).
+	res := &Result{}
+	var keep []int
+	for c := range plan.out {
+		if plan.out[c].hidden {
+			continue
+		}
+		keep = append(keep, c)
+		oc := plan.out[c]
+		res.Columns = append(res.Columns, Column{Name: oc.name, Kind: oc.kind, Scale: oc.scale})
+	}
+	for _, row := range rows {
+		out := make(types.Row, len(keep))
+		for i, c := range keep {
+			out[i] = row[c]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// toValue converts a decrypted big integer into a typed value.
+func toValue(v *big.Int, kind types.Kind) (types.Value, error) {
+	if !v.IsInt64() {
+		return types.Null, fmt.Errorf("decrypted value %s overflows int64", v)
+	}
+	i := v.Int64()
+	switch kind {
+	case types.KindDecimal:
+		return types.NewDecimal(i), nil
+	case types.KindDate:
+		return types.NewDate(i), nil
+	default:
+		return types.NewInt(i), nil
+	}
+}

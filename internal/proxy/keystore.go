@@ -1,0 +1,98 @@
+// Package proxy implements the data owner's side of SDB (paper §2.2): the
+// key store holding column keys, SQL query rewriting into UDF calls plus
+// key-transformation tokens, upload-time encryption, and decryption of
+// encrypted results. The proxy is deliberately lightweight — the key store
+// size is O(#columns), independent of data size (experiment E10).
+package proxy
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sdb/internal/secure"
+	"sdb/internal/types"
+)
+
+// MaskColumn is the hidden per-row random positive mask column the proxy
+// appends to every table that has sensitive columns; the comparison
+// protocol multiplies differences by it.
+const MaskColumn = "sdb_mask"
+
+// TableMeta is the DO-side metadata for one uploaded table.
+type TableMeta struct {
+	// Schema is the user-visible schema (without MaskColumn).
+	Schema types.Schema
+	// Keys maps lower-cased sensitive column names to their column keys.
+	Keys map[string]secure.ColumnKey
+	// MaskKey is the column key of the hidden mask column.
+	MaskKey secure.ColumnKey
+}
+
+// Sensitive reports whether the named user column is sensitive.
+func (m *TableMeta) Sensitive(col string) bool {
+	_, ok := m.Keys[strings.ToLower(col)]
+	return ok
+}
+
+// Key returns the column key for a sensitive column.
+func (m *TableMeta) Key(col string) (secure.ColumnKey, bool) {
+	k, ok := m.Keys[strings.ToLower(col)]
+	return k, ok
+}
+
+// Column returns the user-visible column definition.
+func (m *TableMeta) Column(col string) (types.Column, bool) {
+	i := m.Schema.Find(col)
+	if i < 0 {
+		return types.Column{}, false
+	}
+	return m.Schema.Columns[i], true
+}
+
+// KeyStore is the proxy's persistent secret state: per-table column keys.
+// It is safe for concurrent use.
+type KeyStore struct {
+	mu     sync.RWMutex
+	tables map[string]*TableMeta
+}
+
+// NewKeyStore returns an empty key store.
+func NewKeyStore() *KeyStore {
+	return &KeyStore{tables: make(map[string]*TableMeta)}
+}
+
+// Put registers metadata for a table.
+func (ks *KeyStore) Put(table string, meta *TableMeta) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	key := strings.ToLower(table)
+	if _, ok := ks.tables[key]; ok {
+		return fmt.Errorf("proxy: table %q already registered", table)
+	}
+	ks.tables[key] = meta
+	return nil
+}
+
+// Get returns the metadata for a table.
+func (ks *KeyStore) Get(table string) (*TableMeta, error) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	meta, ok := ks.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("proxy: unknown table %q (not uploaded through this proxy)", table)
+	}
+	return meta, nil
+}
+
+// NumKeys returns the total number of column keys stored — the paper's
+// point is that this is O(#sensitive columns), not O(rows).
+func (ks *KeyStore) NumKeys() int {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	n := 0
+	for _, m := range ks.tables {
+		n += len(m.Keys) + 1 // + mask key
+	}
+	return n
+}

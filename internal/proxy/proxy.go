@@ -1,0 +1,311 @@
+package proxy
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sdb/internal/bigmod"
+	"sdb/internal/engine"
+	"sdb/internal/secure"
+	"sdb/internal/sies"
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// Executor abstracts the service provider: an in-process engine or a
+// network client speaking to a remote server.
+type Executor interface {
+	ExecuteSQL(sql string) (*engine.Result, error)
+}
+
+// Proxy is the SDB proxy at the data owner. It owns all secrets (scheme
+// secret, SIES key, column keys) and talks to the SP only through rewritten
+// SQL carrying shares and tokens.
+type Proxy struct {
+	secret *secure.Secret
+	cipher *sies.Cipher
+	store  *KeyStore
+	exec   Executor
+	nonce  atomic.Uint64
+}
+
+// rowIDBits bounds row ids to [1, 2^rowIDBits); the SIES modulus is
+// 2^rowIDBits and the encrypted row id is packed as cipher<<64 | nonce.
+const rowIDBits = 62
+
+// New creates a proxy over the given scheme secret and executor.
+func New(secret *secure.Secret, exec Executor) (*Proxy, error) {
+	key, err := sies.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	m := new(big.Int).Lsh(big.NewInt(1), rowIDBits)
+	cipher, err := sies.New(key, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{secret: secret, cipher: cipher, store: NewKeyStore(), exec: exec}, nil
+}
+
+// Secret exposes the scheme secret (examples and tests need the params).
+func (p *Proxy) Secret() *secure.Secret { return p.secret }
+
+// KeyStore exposes the proxy's key store.
+func (p *Proxy) KeyStore() *KeyStore { return p.store }
+
+// Stats is the per-query cost breakdown the demo shows in step 2: the
+// client cost (parse + rewrite + decrypt) versus the server cost.
+type Stats struct {
+	Parse        time.Duration
+	Rewrite      time.Duration
+	Server       time.Duration
+	Decrypt      time.Duration
+	RewrittenSQL string
+}
+
+// Client returns the total client-side cost.
+func (s Stats) Client() time.Duration { return s.Parse + s.Rewrite + s.Decrypt }
+
+// Total returns the end-to-end cost.
+func (s Stats) Total() time.Duration { return s.Client() + s.Server }
+
+// Column describes one output column of a decrypted result.
+type Column struct {
+	Name  string
+	Kind  types.Kind
+	Scale int
+}
+
+// Result is a fully decrypted query result at the application.
+type Result struct {
+	Columns []Column
+	Rows    []types.Row
+	Stats   Stats
+}
+
+// Exec parses, rewrites, executes and decrypts one SQL statement.
+func (p *Proxy) Exec(sql string) (*Result, error) {
+	var st Stats
+	t0 := time.Now()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	st.Parse = time.Since(t0)
+
+	switch s := stmt.(type) {
+	case *sqlparser.CreateTable:
+		return p.execCreate(s, st)
+	case *sqlparser.Insert:
+		return p.execInsert(s, st)
+	case *sqlparser.Select:
+		return p.execSelect(s, st)
+	default:
+		return nil, fmt.Errorf("proxy: unsupported statement %T", stmt)
+	}
+}
+
+// execCreate registers keys for sensitive columns and forwards a CREATE
+// with the hidden mask column appended.
+func (p *Proxy) execCreate(s *sqlparser.CreateTable, st Stats) (*Result, error) {
+	t0 := time.Now()
+	cols := make([]types.Column, len(s.Cols))
+	meta := &TableMeta{Keys: make(map[string]secure.ColumnKey)}
+	hasSensitive := false
+	for i, c := range s.Cols {
+		cols[i] = types.Column{Name: c.Name, Type: c.Type}
+		if c.Type.Sensitive {
+			if !c.Type.Kind.Numeric() {
+				return nil, fmt.Errorf("proxy: column %q: only numeric columns can be SENSITIVE", c.Name)
+			}
+			ck, err := p.secret.NewColumnKey()
+			if err != nil {
+				return nil, err
+			}
+			meta.Keys[strings.ToLower(c.Name)] = ck
+			hasSensitive = true
+		}
+	}
+	schema, err := types.NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	meta.Schema = schema
+
+	spStmt := &sqlparser.CreateTable{Name: s.Name, Cols: append([]sqlparser.ColumnDef{}, s.Cols...)}
+	if hasSensitive {
+		mk, err := p.secret.NewColumnKey()
+		if err != nil {
+			return nil, err
+		}
+		meta.MaskKey = mk
+		spStmt.Cols = append(spStmt.Cols, sqlparser.ColumnDef{
+			Name: MaskColumn,
+			Type: types.ColumnType{Kind: types.KindInt, Sensitive: true},
+		})
+	}
+	if err := p.store.Put(s.Name, meta); err != nil {
+		return nil, err
+	}
+	st.Rewrite = time.Since(t0)
+
+	t1 := time.Now()
+	if _, err := p.exec.ExecuteSQL(spStmt.String()); err != nil {
+		return nil, err
+	}
+	st.Server = time.Since(t1)
+	st.RewrittenSQL = spStmt.String()
+	return &Result{Stats: st}, nil
+}
+
+// execInsert encrypts sensitive values and forwards a rewritten INSERT that
+// carries shares, the encrypted row id and the row helper.
+func (p *Proxy) execInsert(s *sqlparser.Insert, st Stats) (*Result, error) {
+	t0 := time.Now()
+	meta, err := p.store.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the user's column order.
+	names := s.Columns
+	if len(names) == 0 {
+		names = make([]string, meta.Schema.Len())
+		for i, c := range meta.Schema.Columns {
+			names[i] = c.Name
+		}
+	}
+
+	out := &sqlparser.Insert{Table: s.Table}
+	hasSensitive := len(meta.Keys) > 0
+	out.Columns = append(out.Columns, names...)
+	if hasSensitive {
+		out.Columns = append(out.Columns, MaskColumn, engine.RowIDColumn, engine.HelperColumn)
+	}
+
+	for _, row := range s.Rows {
+		if len(row) != len(names) {
+			return nil, fmt.Errorf("proxy: INSERT arity %d != %d columns", len(row), len(names))
+		}
+		rid, rowEnc, err := p.newRowID()
+		if err != nil {
+			return nil, err
+		}
+		outRow := make([]sqlparser.Expr, 0, len(row)+3)
+		for i, ex := range row {
+			col, ok := meta.Column(names[i])
+			if !ok {
+				return nil, fmt.Errorf("proxy: table %q has no column %q", s.Table, names[i])
+			}
+			if !col.Type.Sensitive {
+				outRow = append(outRow, ex)
+				continue
+			}
+			v, err := engine.EvalConstExpr(ex)
+			if err != nil {
+				return nil, err
+			}
+			plain, err := plainInt(v, col.Type)
+			if err != nil {
+				return nil, fmt.Errorf("proxy: column %q: %w", col.Name, err)
+			}
+			ck := meta.Keys[strings.ToLower(col.Name)]
+			ve, err := p.secret.EncryptInt64(plain, rid, ck)
+			if err != nil {
+				return nil, err
+			}
+			outRow = append(outRow, sqlparser.HexLit{V: ve})
+		}
+		if hasSensitive {
+			mask, err := p.secret.NewMaskValue()
+			if err != nil {
+				return nil, err
+			}
+			me, err := p.secret.EncryptMask(mask, rid, meta.MaskKey)
+			if err != nil {
+				return nil, err
+			}
+			outRow = append(outRow,
+				sqlparser.HexLit{V: me},
+				sqlparser.HexLit{V: rowEnc},
+				sqlparser.HexLit{V: p.secret.RowHelper(rid)},
+			)
+		}
+		out.Rows = append(out.Rows, outRow)
+	}
+	st.Rewrite = time.Since(t0)
+
+	t1 := time.Now()
+	if _, err := p.exec.ExecuteSQL(out.String()); err != nil {
+		return nil, err
+	}
+	st.Server = time.Since(t1)
+	st.RewrittenSQL = out.String()
+	return &Result{Stats: st}, nil
+}
+
+// newRowID draws a fresh row id and returns it along with its packed
+// SIES-encrypted form (cipher<<64 | nonce).
+func (p *Proxy) newRowID() (secure.RowID, *big.Int, error) {
+	nonce := p.nonce.Add(1)
+	r, err := randRowID()
+	if err != nil {
+		return secure.RowID{}, nil, err
+	}
+	enc, err := p.cipher.Encrypt(r, nonce)
+	if err != nil {
+		return secure.RowID{}, nil, err
+	}
+	packed := new(big.Int).Lsh(enc, 64)
+	packed.Or(packed, new(big.Int).SetUint64(nonce))
+	return secure.RowID{R: r}, packed, nil
+}
+
+// decryptRowID unpacks and decrypts a row id shipped back in a result.
+func (p *Proxy) decryptRowID(packed *big.Int) (secure.RowID, error) {
+	nonce := new(big.Int).And(packed, maxUint64).Uint64()
+	enc := new(big.Int).Rsh(packed, 64)
+	r, err := p.cipher.Decrypt(enc, nonce)
+	if err != nil {
+		return secure.RowID{}, err
+	}
+	return secure.RowID{R: r}, nil
+}
+
+var maxUint64 = new(big.Int).SetUint64(^uint64(0))
+
+// plainInt extracts the int64 backing of a literal for encryption, applying
+// the column's decimal scaling and date parsing.
+func plainInt(v types.Value, ct types.ColumnType) (int64, error) {
+	switch {
+	case v.IsNull():
+		return 0, fmt.Errorf("NULL in sensitive column is not supported")
+	case v.K == ct.Kind:
+		return v.I, nil
+	case ct.Kind == types.KindDecimal && v.K == types.KindInt:
+		return v.I * pow10(ct.Scale), nil
+	case ct.Kind == types.KindDate && v.K == types.KindString:
+		d, err := types.ParseDate(v.S)
+		if err != nil {
+			return 0, err
+		}
+		return d.I, nil
+	default:
+		return 0, fmt.Errorf("cannot store %s into %s", v.K, ct.Kind)
+	}
+}
+
+func pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+// randRowID draws a uniform row id in [1, 2^rowIDBits).
+func randRowID() (*big.Int, error) {
+	return bigmod.Rand(new(big.Int).Lsh(big.NewInt(1), rowIDBits))
+}

@@ -1,0 +1,112 @@
+package proxy
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sdb/internal/engine"
+	"sdb/internal/sqlparser"
+)
+
+// RotateColumn re-encrypts a sensitive column under a fresh column key,
+// entirely server-side: the proxy draws a new key, derives a key-update
+// token from the old key to the new one, and issues
+//
+//	UPDATE t SET col = sdb_keyupdate(col, sdb_w, p, q, n)
+//
+// The SP transforms every stored share without decrypting anything (it
+// only ever sees the token); the proxy then replaces the key in its key
+// store. This is the key-management operation a DO performs after a
+// suspected proxy-key exposure: the old column key becomes useless against
+// the rotated data.
+func (p *Proxy) RotateColumn(table, column string) (Stats, error) {
+	var st Stats
+	t0 := time.Now()
+	meta, err := p.store.Get(table)
+	if err != nil {
+		return st, err
+	}
+	oldKey, ok := meta.Key(column)
+	if !ok {
+		return st, fmt.Errorf("proxy: column %s.%s is not sensitive", table, column)
+	}
+	newKey, err := p.secret.NewColumnKey()
+	if err != nil {
+		return st, err
+	}
+	tok, err := p.secret.KeyUpdateToken(oldKey, newKey)
+	if err != nil {
+		return st, err
+	}
+	upd := &sqlparser.Update{
+		Table: table,
+		Set: []sqlparser.SetClause{{
+			Column: column,
+			Expr: &sqlparser.FuncCall{Name: "sdb_keyupdate", Args: []sqlparser.Expr{
+				sqlparser.ColRef{Name: column},
+				sqlparser.ColRef{Name: engine.HelperColumn},
+				sqlparser.HexLit{V: tok.P},
+				sqlparser.HexLit{V: tok.Q},
+				sqlparser.HexLit{V: p.secret.N()},
+			}},
+		}},
+	}
+	sql := upd.String()
+	st.Rewrite = time.Since(t0)
+	st.RewrittenSQL = sql
+
+	t1 := time.Now()
+	if _, err := p.exec.ExecuteSQL(sql); err != nil {
+		return st, err
+	}
+	st.Server = time.Since(t1)
+
+	// Only after the server confirms do we swap the key.
+	meta.Keys[strings.ToLower(column)] = newKey
+	return st, nil
+}
+
+// RotateMask refreshes a table's hidden comparison-mask column key the same
+// way (the mask values themselves stay; their key changes).
+func (p *Proxy) RotateMask(table string) (Stats, error) {
+	var st Stats
+	meta, err := p.store.Get(table)
+	if err != nil {
+		return st, err
+	}
+	if len(meta.Keys) == 0 {
+		return st, fmt.Errorf("proxy: table %q has no sensitive columns", table)
+	}
+	t0 := time.Now()
+	newKey, err := p.secret.NewColumnKey()
+	if err != nil {
+		return st, err
+	}
+	tok, err := p.secret.KeyUpdateToken(meta.MaskKey, newKey)
+	if err != nil {
+		return st, err
+	}
+	upd := &sqlparser.Update{
+		Table: table,
+		Set: []sqlparser.SetClause{{
+			Column: MaskColumn,
+			Expr: &sqlparser.FuncCall{Name: "sdb_keyupdate", Args: []sqlparser.Expr{
+				sqlparser.ColRef{Name: MaskColumn},
+				sqlparser.ColRef{Name: engine.HelperColumn},
+				sqlparser.HexLit{V: tok.P},
+				sqlparser.HexLit{V: tok.Q},
+				sqlparser.HexLit{V: p.secret.N()},
+			}},
+		}},
+	}
+	st.Rewrite = time.Since(t0)
+	st.RewrittenSQL = upd.String()
+	t1 := time.Now()
+	if _, err := p.exec.ExecuteSQL(upd.String()); err != nil {
+		return st, err
+	}
+	st.Server = time.Since(t1)
+	meta.MaskKey = newKey
+	return st, nil
+}

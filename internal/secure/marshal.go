@@ -1,0 +1,71 @@
+package secure
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+)
+
+// secretJSON is the on-disk form of the DO's scheme secret. It lives in the
+// proxy's key store only — never ship it to the SP.
+type secretJSON struct {
+	P1        string `json:"p1"`
+	P2        string `json:"p2"`
+	G         string `json:"g"`
+	ValueBits int    `json:"value_bits"`
+	MaskBits  int    `json:"mask_bits"`
+}
+
+// paramsJSON is the public half (safe for the SP).
+type paramsJSON struct {
+	N string `json:"n"`
+}
+
+// MarshalJSON serialises the secret (hex components).
+func (s *Secret) MarshalJSON() ([]byte, error) {
+	return json.Marshal(secretJSON{
+		P1:        s.p1.Text(16),
+		P2:        s.p2.Text(16),
+		G:         s.g.Text(16),
+		ValueBits: s.domainValueBits(),
+		MaskBits:  s.maskWidth,
+	})
+}
+
+// UnmarshalSecret reconstructs a Secret from MarshalJSON output.
+func UnmarshalSecret(data []byte) (*Secret, error) {
+	var sj secretJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, fmt.Errorf("secure: bad secret file: %w", err)
+	}
+	p1, ok1 := new(big.Int).SetString(sj.P1, 16)
+	p2, ok2 := new(big.Int).SetString(sj.P2, 16)
+	g, ok3 := new(big.Int).SetString(sj.G, 16)
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("secure: bad hex in secret file")
+	}
+	return SetupFromPrimes(p1, p2, g, sj.ValueBits, sj.MaskBits)
+}
+
+// MarshalJSON serialises the public parameters.
+func (p *Params) MarshalJSON() ([]byte, error) {
+	return json.Marshal(paramsJSON{N: p.N.Text(16)})
+}
+
+// UnmarshalParams reconstructs public parameters.
+func UnmarshalParams(data []byte) (*Params, error) {
+	var pj paramsJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return nil, fmt.Errorf("secure: bad params file: %w", err)
+	}
+	n, ok := new(big.Int).SetString(pj.N, 16)
+	if !ok || n.Sign() <= 0 {
+		return nil, fmt.Errorf("secure: bad modulus in params file")
+	}
+	return &Params{N: n}, nil
+}
+
+// domainValueBits recovers the value budget from the domain bound.
+func (s *Secret) domainValueBits() int {
+	return s.domain.Bound().BitLen() - 1
+}

@@ -1,0 +1,60 @@
+package secure
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSecretRoundTrip(t *testing.T) {
+	s := testSecret(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s2, err := UnmarshalSecret(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if s2.N().Cmp(s.N()) != 0 {
+		t.Error("modulus changed through round trip")
+	}
+	// A value encrypted with the original must decrypt with the restored
+	// secret under the same keys.
+	ck, _ := s.NewColumnKey()
+	r, _ := s.NewRowID()
+	ve, _ := s.EncryptInt64(987654, r, ck)
+	got, err := s2.DecryptInt64(ve, r, ck)
+	if err != nil || got != 987654 {
+		t.Errorf("decrypt after round trip = %d, %v", got, err)
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	s := testSecret(t)
+	data, err := json.Marshal(s.Params())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	p, err := UnmarshalParams(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if p.N.Cmp(s.N()) != 0 {
+		t.Error("modulus changed")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSecret([]byte(`{"p1":"zzz"}`)); err == nil {
+		t.Error("expected error for bad hex")
+	}
+	if _, err := UnmarshalSecret([]byte(`not json`)); err == nil {
+		t.Error("expected error for bad json")
+	}
+	if _, err := UnmarshalParams([]byte(`{"n":"-5"}`)); err == nil {
+		t.Error("expected error for bad modulus")
+	}
+	if _, err := UnmarshalParams([]byte(`{`)); err == nil {
+		t.Error("expected error for bad json")
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sdb/internal/engine"
+	"sdb/internal/wire"
+)
+
+// Client is a proxy-side connection to a remote SDB server. It implements
+// proxy.Executor, so a Proxy can be pointed at a server across the network
+// exactly like at an in-process engine.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	wc   *wire.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, wc: wire.NewConn(conn)}, nil
+}
+
+// ExecuteSQL sends one statement and waits for its encrypted result.
+func (c *Client) ExecuteSQL(sql string) (*engine.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("server: client closed")
+	}
+	if err := c.wc.SendRequest(&wire.Request{SQL: sql}); err != nil {
+		return nil, err
+	}
+	resp, err := c.wc.ReadResponse()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return wire.ToResult(resp), nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

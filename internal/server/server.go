@@ -1,0 +1,119 @@
+// Package server runs the service provider: a TCP front end over the SDB
+// engine (the demo's machine MSP). The server never receives key material;
+// it executes rewritten SQL whose only secrets are embedded tokens, and
+// returns encrypted results.
+package server
+
+import (
+	"errors"
+	"log"
+	"math/big"
+	"net"
+	"sync"
+
+	"sdb/internal/engine"
+	"sdb/internal/storage"
+	"sdb/internal/wire"
+)
+
+// Server accepts proxy connections and executes rewritten SQL.
+type Server struct {
+	eng *engine.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// New builds a server over a fresh catalog with the public modulus n.
+func New(n *big.Int) *Server {
+	return &Server{
+		eng:   engine.New(storage.NewCatalog(), n),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Engine exposes the underlying engine (attack-harness inspection).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Listen binds the address and returns the bound address (useful with
+// ":0" in tests).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	return l.Addr(), nil
+}
+
+// Serve accepts connections until Close. It returns nil after Close.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	l := s.listener
+	s.mu.Unlock()
+	if l == nil {
+		return errors.New("server: Listen before Serve")
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	wc := wire.NewConn(conn)
+	for {
+		req, err := wc.ReadRequest()
+		if err != nil {
+			return // connection closed
+		}
+		resp := s.execute(req)
+		if err := wc.SendResponse(resp); err != nil {
+			log.Printf("server: send response: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) execute(req *wire.Request) *wire.Response {
+	res, err := s.eng.ExecuteSQL(req.SQL)
+	if err != nil {
+		return &wire.Response{Err: err.Error()}
+	}
+	return wire.FromResult(res)
+}

@@ -1,0 +1,473 @@
+package sqlparser
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"sdb/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// CreateTable is CREATE TABLE name (col type [SENSITIVE], …).
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+}
+
+// ColumnDef is one column definition.
+type ColumnDef struct {
+	Name string
+	Type types.ColumnType
+}
+
+// Insert is INSERT INTO name [(cols)] VALUES (…), (…).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// Update is UPDATE name SET col = expr, … [WHERE cond]. SDB uses it for
+// server-side key rotation (SET col = sdb_keyupdate(col, …)).
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// Select is a full SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	// Limit is nil when absent.
+	Limit *int64
+}
+
+// SelectItem is one projection: an expression with optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface {
+	tableRef()
+	String() string
+}
+
+// TableName references a stored table, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// JoinRef is an explicit INNER JOIN with an ON condition.
+type JoinRef struct {
+	Left, Right TableRef
+	On          Expr
+}
+
+// SubqueryRef is a derived table: (SELECT …) AS alias.
+type SubqueryRef struct {
+	Sel   *Select
+	Alias string
+}
+
+func (*CreateTable) stmt() {}
+func (*Insert) stmt()      {}
+func (*Update) stmt()      {}
+func (*Select) stmt()      {}
+
+func (TableName) tableRef()    {}
+func (*JoinRef) tableRef()     {}
+func (*SubqueryRef) tableRef() {}
+
+// Expr is any scalar expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColRef is a column reference, optionally table-qualified.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// DecLit is a fixed-point decimal literal: Scaled / 10^Scale.
+type DecLit struct {
+	Scaled int64
+	Scale  int
+}
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// DateLit is DATE 'YYYY-MM-DD', stored as epoch days.
+type DateLit struct{ Days int64 }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// HexLit is an arbitrary-precision 0x… literal; rewritten queries carry SDB
+// tokens and the modulus in these.
+type HexLit struct{ V *big.Int }
+
+// BinaryExpr is a binary operation. Op is one of
+// + - * / % = != < <= > >= AND OR ||.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is -expr or NOT expr.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	E  Expr
+}
+
+// FuncCall is a function or aggregate call. Star marks COUNT(*); Distinct
+// marks COUNT(DISTINCT e) etc.
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// BetweenExpr is e [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// InExpr is e [NOT] IN (list…).
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// LikeExpr is e [NOT] LIKE pattern.
+type LikeExpr struct {
+	E, Pattern Expr
+	Not        bool
+}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// CaseExpr is CASE WHEN cond THEN val … [ELSE val] END.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+// WhenClause is one WHEN…THEN… arm.
+type WhenClause struct {
+	Cond, Then Expr
+}
+
+func (ColRef) expr()       {}
+func (IntLit) expr()       {}
+func (DecLit) expr()       {}
+func (StrLit) expr()       {}
+func (DateLit) expr()      {}
+func (BoolLit) expr()      {}
+func (NullLit) expr()      {}
+func (HexLit) expr()       {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*FuncCall) expr()    {}
+func (*BetweenExpr) expr() {}
+func (*InExpr) expr()      {}
+func (*LikeExpr) expr()    {}
+func (*IsNullExpr) expr()  {}
+func (*CaseExpr) expr()    {}
+
+// ---- Deparsing. String() output re-parses to an equivalent AST; the SDB
+// proxy relies on this to ship rewritten queries as SQL text.
+
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+func (l IntLit) String() string { return fmt.Sprintf("%d", l.V) }
+
+func (l DecLit) String() string {
+	return types.FormatDecimal(l.Scaled, l.Scale)
+}
+
+func (l StrLit) String() string {
+	return "'" + strings.ReplaceAll(l.V, "'", "''") + "'"
+}
+
+func (l DateLit) String() string {
+	return "DATE '" + types.FormatDate(types.NewDate(l.Days)) + "'"
+}
+
+func (l BoolLit) String() string {
+	if l.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func (NullLit) String() string { return "NULL" }
+
+func (l HexLit) String() string {
+	if l.V.Sign() < 0 {
+		return "-0x" + new(big.Int).Neg(l.V).Text(16)
+	}
+	return "0x" + l.V.Text(16)
+}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+func (u *UnaryExpr) String() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.E.String() + ")"
+	}
+	return "(" + u.Op + u.E.String() + ")"
+}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return f.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+func (b *BetweenExpr) String() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.E.String() + " " + not + "BETWEEN " + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+func (i *InExpr) String() string {
+	items := make([]string, len(i.List))
+	for k, e := range i.List {
+		items[k] = e.String()
+	}
+	not := ""
+	if i.Not {
+		not = "NOT "
+	}
+	return "(" + i.E.String() + " " + not + "IN (" + strings.Join(items, ", ") + "))"
+}
+
+func (l *LikeExpr) String() string {
+	not := ""
+	if l.Not {
+		not = "NOT "
+	}
+	return "(" + l.E.String() + " " + not + "LIKE " + l.Pattern.String() + ")"
+}
+
+func (i *IsNullExpr) String() string {
+	not := ""
+	if i.Not {
+		not = "NOT "
+	}
+	return "(" + i.E.String() + " IS " + not + "NULL)"
+}
+
+func (c *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Then.String())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func (t TableName) String() string {
+	if t.Alias != "" && !strings.EqualFold(t.Alias, t.Name) {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+func (j *JoinRef) String() string {
+	return j.Left.String() + " JOIN " + j.Right.String() + " ON " + j.On.String()
+}
+
+func (s *SubqueryRef) String() string {
+	return "(" + s.Sel.String() + ") AS " + s.Alias
+}
+
+func (c *CreateTable) String() string {
+	cols := make([]string, len(c.Cols))
+	for i, col := range c.Cols {
+		cols[i] = col.Name + " " + columnTypeSQL(col.Type)
+	}
+	return "CREATE TABLE " + c.Name + " (" + strings.Join(cols, ", ") + ")"
+}
+
+func columnTypeSQL(t types.ColumnType) string {
+	var s string
+	switch t.Kind {
+	case types.KindInt:
+		s = "INT"
+	case types.KindDecimal:
+		s = fmt.Sprintf("DECIMAL(%d)", t.Scale)
+	case types.KindDate:
+		s = "DATE"
+	case types.KindString:
+		s = "STRING"
+	case types.KindBool:
+		s = "BOOL"
+	case types.KindShare:
+		s = "SHARE"
+	default:
+		s = "UNKNOWN"
+	}
+	if t.Sensitive {
+		s += " SENSITIVE"
+	}
+	return s
+}
+
+func (u *Update) String() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE " + u.Table + " SET ")
+	for i, set := range u.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(set.Column + " = " + set.Expr.String())
+	}
+	if u.Where != nil {
+		sb.WriteString(" WHERE " + u.Where.String())
+	}
+	return sb.String()
+}
+
+func (i *Insert) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + i.Table)
+	if len(i.Columns) > 0 {
+		sb.WriteString(" (" + strings.Join(i.Columns, ", ") + ")")
+	}
+	sb.WriteString(" VALUES ")
+	for r, row := range i.Rows {
+		if r > 0 {
+			sb.WriteString(", ")
+		}
+		vals := make([]string, len(row))
+		for k, e := range row {
+			vals[k] = e.String()
+		}
+		sb.WriteString("(" + strings.Join(vals, ", ") + ")")
+	}
+	return sb.String()
+}
+
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if it.Star {
+			sb.WriteString("*")
+			continue
+		}
+		sb.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.String())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			keys[i] = g.String()
+		}
+		sb.WriteString(" GROUP BY " + strings.Join(keys, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			keys[i] = o.Expr.String()
+			if o.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		sb.WriteString(" ORDER BY " + strings.Join(keys, ", "))
+	}
+	if s.Limit != nil {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", *s.Limit))
+	}
+	return sb.String()
+}

@@ -1,0 +1,216 @@
+// Package sqlparser implements the SQL dialect shared by the SDB proxy and
+// the service-provider engine: a lexer, an AST with exact deparsing (the
+// proxy ships rewritten SQL *text* to the SP, as in the paper's Figure 3),
+// and a recursive-descent parser.
+//
+// The dialect covers what the TPC-H workload and the SDB rewrites need:
+// CREATE TABLE (with the SENSITIVE column attribute), INSERT, and SELECT
+// with joins, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, CASE,
+// IN/BETWEEN/LIKE/IS NULL, scalar functions and aggregates, subqueries in
+// FROM, and arbitrary-precision hex literals (0x…) used to carry SDB
+// tokens inside rewritten queries.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokDecimal
+	tokHex
+	tokString
+	tokOp    // operators: + - * / % = != <> < <= > >= || .
+	tokPunct // ( ) , ;
+)
+
+type token struct {
+	kind tokenKind
+	text string // raw text; keywords upper-cased
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return t.text
+}
+
+// keywords is the reserved-word set. Function names (SUM, COUNT, sdb_mul…)
+// are deliberately NOT keywords; they lex as identifiers.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"UPDATE": true, "SET": true,
+	"VALUES": true, "JOIN": true, "INNER": true, "ON": true,
+	"DISTINCT": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "SENSITIVE": true, "TRUE": true,
+	"FALSE": true, "DATE": true, "INTERVAL": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	// skip whitespace and -- comments
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case c == '\'':
+		return l.lexString()
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	}
+	if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); isIdentStart(r) {
+		return l.lexIdent()
+	}
+
+	// operators and punctuation
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<>", "<=", ">=", "||":
+		l.pos += 2
+		if two == "<>" {
+			two = "!="
+		}
+		return token{kind: tokOp, text: two, pos: start}, nil
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '.':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	case '(', ')', ',', ';':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("sqlparser: unexpected character %q at offset %d", c, start)
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sqlparser: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		l.pos += 2
+		hexStart := l.pos
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == hexStart {
+			return token{}, fmt.Errorf("sqlparser: empty hex literal at offset %d", start)
+		}
+		return token{kind: tokHex, text: l.src[hexStart:l.pos], pos: start}, nil
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	kind := tokInt
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		kind = tokDecimal
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return token{kind: tokKeyword, text: upper, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,83 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexKinds(t, `SELECT a, 'str''x', 12, 3.14, 0xff FROM t`)
+	kinds := []tokenKind{tokKeyword, tokIdent, tokPunct, tokString, tokPunct,
+		tokInt, tokPunct, tokDecimal, tokPunct, tokHex, tokKeyword, tokIdent, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d (%q): kind %d, want %d", i, toks[i].text, toks[i].kind, k)
+		}
+	}
+	if toks[3].text != "str'x" {
+		t.Errorf("escaped string: %q", toks[3].text)
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks := lexKinds(t, "a != b <> c <= d >= e || f")
+	want := []string{"a", "!=", "b", "!=", "c", "<=", "d", ">=", "e", "||", "f"}
+	for i, w := range want {
+		if toks[i].text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexCaseInsensitiveKeywords(t *testing.T) {
+	toks := lexKinds(t, "select From WHERE")
+	for i, w := range []string{"SELECT", "FROM", "WHERE"} {
+		if toks[i].kind != tokKeyword || toks[i].text != w {
+			t.Errorf("token %d: %+v, want keyword %s", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "SELECT -- everything\n a -- tail")
+	if len(toks) != 3 { // SELECT, a, EOF
+		t.Errorf("tokens: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "0x", "SELECT #"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexDotVsDecimal(t *testing.T) {
+	// t.a is qualified reference (ident dot ident); 1.5 is a decimal.
+	toks := lexKinds(t, "t.a 1.5")
+	if toks[0].kind != tokIdent || toks[1].text != "." || toks[2].kind != tokIdent {
+		t.Errorf("qualified ref: %v", toks[:3])
+	}
+	if toks[3].kind != tokDecimal {
+		t.Errorf("decimal: %+v", toks[3])
+	}
+}
+
+func TestLexUnicodeIdentifiers(t *testing.T) {
+	toks := lexKinds(t, "SELECT código FROM daten")
+	if toks[1].kind != tokIdent || toks[1].text != "código" {
+		t.Errorf("unicode ident: %+v", toks[1])
+	}
+}

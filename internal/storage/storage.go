@@ -1,0 +1,140 @@
+// Package storage is the service provider's table store: a small columnar
+// store holding plaintext values for insensitive columns, encrypted shares
+// for sensitive columns, and the two per-row SDB auxiliaries — the
+// SIES-encrypted row id and the row helper w = g^r mod n (see
+// internal/secure). The storage layer never sees key material.
+package storage
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdb/internal/types"
+)
+
+// Table holds rows column-wise. Sensitive columns contain KindShare values;
+// insensitive columns contain plaintext values.
+type Table struct {
+	Name   string
+	Schema types.Schema
+
+	// RowEnc[i] is the SIES-encrypted row id of row i (opaque to the SP).
+	RowEnc []*big.Int
+	// Helper[i] is w = g^r mod n for row i; tokens exponentiate it.
+	Helper []*big.Int
+	// Cols[c][i] is the value of column c in row i.
+	Cols [][]types.Value
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema types.Schema) *Table {
+	return &Table{
+		Name:   name,
+		Schema: schema,
+		Cols:   make([][]types.Value, schema.Len()),
+	}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.RowEnc) }
+
+// Append adds one row. For tables with sensitive columns, rowEnc and helper
+// must be non-nil; insensitive-only tables may pass nils and get zero
+// placeholders.
+func (t *Table) Append(row types.Row, rowEnc, helper *big.Int) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("storage: row arity %d != schema arity %d", len(row), t.Schema.Len())
+	}
+	for i, col := range t.Schema.Columns {
+		v := row[i]
+		if col.Type.Sensitive {
+			if v.K != types.KindShare && v.K != types.KindNull {
+				return fmt.Errorf("storage: column %q is sensitive; got plaintext %s", col.Name, v.K)
+			}
+		} else if v.K == types.KindShare {
+			return fmt.Errorf("storage: column %q is insensitive; got a share", col.Name)
+		}
+	}
+	if rowEnc == nil {
+		rowEnc = new(big.Int)
+	}
+	if helper == nil {
+		helper = new(big.Int)
+	}
+	t.RowEnc = append(t.RowEnc, rowEnc)
+	t.Helper = append(t.Helper, helper)
+	for i := range t.Cols {
+		t.Cols[i] = append(t.Cols[i], row[i])
+	}
+	return nil
+}
+
+// RowAt materialises row i (copy).
+func (t *Table) RowAt(i int) types.Row {
+	row := make(types.Row, len(t.Cols))
+	for c := range t.Cols {
+		row[c] = t.Cols[c][i]
+	}
+	return row
+}
+
+// Catalog is the SP's table namespace. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a new table; the name must be free.
+func (c *Catalog) Create(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(t.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("storage: table %q already exists", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Get looks up a table by name (case-insensitive).
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no such table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("storage: no such table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for k := range c.tables {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"math/big"
+	"testing"
+
+	"sdb/internal/types"
+)
+
+func testSchema(t *testing.T) types.Schema {
+	t.Helper()
+	s, err := types.NewSchema([]types.Column{
+		{Name: "id", Type: types.ColumnType{Kind: types.KindInt}},
+		{Name: "v", Type: types.ColumnType{Kind: types.KindInt, Sensitive: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendAndRowAt(t *testing.T) {
+	tbl := NewTable("t", testSchema(t))
+	row := types.Row{types.NewInt(1), types.NewShare(big.NewInt(99))}
+	if err := tbl.Append(row, big.NewInt(7), big.NewInt(8)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1 {
+		t.Fatal("row count")
+	}
+	got := tbl.RowAt(0)
+	if got[0].I != 1 || got[1].B.Int64() != 99 {
+		t.Errorf("row: %v", got)
+	}
+	if tbl.RowEnc[0].Int64() != 7 || tbl.Helper[0].Int64() != 8 {
+		t.Error("auxiliaries not stored")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tbl := NewTable("t", testSchema(t))
+	if err := tbl.Append(types.Row{types.NewInt(1)}, nil, nil); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// plaintext in sensitive column
+	if err := tbl.Append(types.Row{types.NewInt(1), types.NewInt(2)}, nil, nil); err == nil {
+		t.Error("plaintext in sensitive column should fail")
+	}
+	// share in insensitive column
+	if err := tbl.Append(types.Row{types.NewShare(big.NewInt(1)), types.NewShare(big.NewInt(2))}, nil, nil); err == nil {
+		t.Error("share in insensitive column should fail")
+	}
+	// NULL is allowed anywhere
+	if err := tbl.Append(types.Row{types.Null, types.Null}, nil, nil); err != nil {
+		t.Errorf("nulls: %v", err)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tbl := NewTable("T1", testSchema(t))
+	if err := c.Create(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create(NewTable("t1", testSchema(t))); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	got, err := c.Get("t1")
+	if err != nil || got != tbl {
+		t.Errorf("Get: %v %v", got, err)
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("missing table")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "t1" {
+		t.Errorf("names: %v", names)
+	}
+	if err := c.Drop("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("T1"); err == nil {
+		t.Error("double drop should fail")
+	}
+}

@@ -1,0 +1,224 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Config controls the generator. ScaleFactor 1.0 corresponds to the
+// official 6M-row lineitem; experiments here use 0.0005–0.01.
+type Config struct {
+	ScaleFactor float64
+	Seed        int64
+}
+
+// Sizes returns the per-table row counts at the configured scale.
+func (c Config) Sizes() map[string]int {
+	sf := c.ScaleFactor
+	atLeast := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": atLeast(int(10000 * sf)),
+		"customer": atLeast(int(150000 * sf)),
+		"part":     atLeast(int(200000 * sf)),
+		"partsupp": atLeast(int(800000 * sf)),
+		"orders":   atLeast(int(1500000 * sf)),
+		"lineitem": atLeast(int(6000000 * sf)),
+	}
+}
+
+// Execer consumes generated SQL statements; both the SDB proxy and a
+// plaintext engine satisfy it via small adapters.
+type Execer func(sql string) error
+
+var (
+	regions   = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations   = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	segments  = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priority  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	partTypes = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED BRASS", "ECONOMY BURNISHED NICKEL", "PROMO BRUSHED STEEL", "LARGE BURNISHED COPPER"}
+	brands    = []string{"Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"}
+	container = []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PACK"}
+	flags     = []string{"R", "A", "N"}
+)
+
+// Generate produces the whole dataset, streaming INSERT statements in
+// batches of batchRows to the execer. It is deterministic in Config.Seed.
+func Generate(cfg Config, exec Execer) error {
+	if cfg.ScaleFactor <= 0 {
+		return fmt.Errorf("tpch: scale factor must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := cfg.Sizes()
+	const batchRows = 200
+
+	// region
+	var rows []string
+	for i, name := range regions {
+		rows = append(rows, fmt.Sprintf("(%d, '%s')", i, name))
+	}
+	if err := flush(exec, "region", "", rows); err != nil {
+		return err
+	}
+
+	// nation
+	rows = rows[:0]
+	for i, name := range nations {
+		rows = append(rows, fmt.Sprintf("(%d, '%s', %d)", i, name, i%5))
+	}
+	if err := flush(exec, "nation", "", rows); err != nil {
+		return err
+	}
+
+	// supplier
+	rows = rows[:0]
+	for i := 0; i < sizes["supplier"]; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'Supplier#%05d', %d, %s)",
+			i+1, i+1, rng.Intn(25), money(rng, -99999, 999999)))
+		if len(rows) >= batchRows {
+			if err := flush(exec, "supplier", "", rows); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if err := flush(exec, "supplier", "", rows); err != nil {
+		return err
+	}
+
+	// customer
+	rows = rows[:0]
+	for i := 0; i < sizes["customer"]; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'Customer#%06d', %d, '%s', %s)",
+			i+1, i+1, rng.Intn(25), segments[rng.Intn(len(segments))], money(rng, -99999, 999999)))
+		if len(rows) >= batchRows {
+			if err := flush(exec, "customer", "", rows); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if err := flush(exec, "customer", "", rows); err != nil {
+		return err
+	}
+
+	// part
+	partPrice := make([]int64, sizes["part"]+1)
+	rows = rows[:0]
+	for i := 0; i < sizes["part"]; i++ {
+		price := int64(90000 + rng.Intn(110000)) // 900.00–2000.00
+		partPrice[i+1] = price
+		rows = append(rows, fmt.Sprintf("(%d, 'part %s %d', '%s', '%s', %d, '%s', %d.%02d)",
+			i+1, strings.ToLower(partTypes[rng.Intn(len(partTypes))]), i+1,
+			brands[rng.Intn(len(brands))], partTypes[rng.Intn(len(partTypes))],
+			1+rng.Intn(50), container[rng.Intn(len(container))],
+			price/100, price%100))
+		if len(rows) >= batchRows {
+			if err := flush(exec, "part", "", rows); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if err := flush(exec, "part", "", rows); err != nil {
+		return err
+	}
+
+	// partsupp
+	rows = rows[:0]
+	for i := 0; i < sizes["partsupp"]; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %d, %s)",
+			1+i%sizes["part"], 1+rng.Intn(sizes["supplier"]), 1+rng.Intn(9999),
+			money(rng, 100, 100000)))
+		if len(rows) >= batchRows {
+			if err := flush(exec, "partsupp", "", rows); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if err := flush(exec, "partsupp", "", rows); err != nil {
+		return err
+	}
+
+	// orders + lineitem
+	epoch := time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+	span := int(time.Date(1998, 8, 2, 0, 0, 0, 0, time.UTC).Sub(epoch).Hours() / 24)
+	var orderRows, lineRows []string
+	linesPerOrder := sizes["lineitem"] / sizes["orders"]
+	if linesPerOrder < 1 {
+		linesPerOrder = 1
+	}
+	for o := 0; o < sizes["orders"]; o++ {
+		odate := epoch.AddDate(0, 0, rng.Intn(span))
+		status := flags[rng.Intn(3)]
+		var total int64
+		nLines := 1 + rng.Intn(2*linesPerOrder)
+		lines := make([]string, 0, nLines)
+		for l := 0; l < nLines; l++ {
+			partKey := 1 + rng.Intn(sizes["part"])
+			qty := 1 + rng.Intn(50)
+			extended := int64(qty) * partPrice[partKey] / 10 // keep magnitudes moderate
+			discount := int64(rng.Intn(11))                  // 0.00–0.10
+			tax := int64(rng.Intn(9))                        // 0.00–0.08
+			ship := odate.AddDate(0, 0, 1+rng.Intn(121))
+			commit := odate.AddDate(0, 0, 30+rng.Intn(61))
+			receipt := ship.AddDate(0, 0, 1+rng.Intn(30))
+			total += extended
+			lines = append(lines, fmt.Sprintf("(%d, %d, %d, %d, %d, %d.%02d, 0.%02d, 0.%02d, '%s', '%s', '%s', '%s', '%s', '%s')",
+				o+1, partKey, 1+rng.Intn(sizes["supplier"]), l+1, qty,
+				extended/100, extended%100, discount, tax,
+				flags[rng.Intn(3)], flags[rng.Intn(2)],
+				ship.Format("2006-01-02"), commit.Format("2006-01-02"), receipt.Format("2006-01-02"),
+				shipModes[rng.Intn(len(shipModes))]))
+		}
+		orderRows = append(orderRows, fmt.Sprintf("(%d, %d, '%s', %d.%02d, '%s', '%s', %d)",
+			o+1, 1+rng.Intn(sizes["customer"]), status, total/100, total%100,
+			odate.Format("2006-01-02"), priority[rng.Intn(len(priority))], rng.Intn(2)))
+		lineRows = append(lineRows, lines...)
+		if len(orderRows) >= batchRows {
+			if err := flush(exec, "orders", "", orderRows); err != nil {
+				return err
+			}
+			orderRows = orderRows[:0]
+		}
+		if len(lineRows) >= batchRows {
+			if err := flush(exec, "lineitem", "", lineRows); err != nil {
+				return err
+			}
+			lineRows = lineRows[:0]
+		}
+	}
+	if err := flush(exec, "orders", "", orderRows); err != nil {
+		return err
+	}
+	return flush(exec, "lineitem", "", lineRows)
+}
+
+// money renders a random scaled-decimal literal in [lo, hi] cents.
+func money(rng *rand.Rand, lo, hi int64) string {
+	v := lo + rng.Int63n(hi-lo+1)
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	return fmt.Sprintf("%s%d.%02d", neg, v/100, v%100)
+}
+
+func flush(exec Execer, table, cols string, rows []string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	sql := "INSERT INTO " + table + " VALUES " + strings.Join(rows, ", ")
+	_ = cols
+	return exec(sql)
+}

@@ -1,0 +1,150 @@
+// Package wire defines the SQL-over-TCP protocol between the SDB proxy
+// (machine MDO in the demo) and the service provider's engine (machine
+// MSP). Requests carry rewritten SQL text; responses carry encrypted
+// result tables. Encoding is gob with big.Ints serialised as bytes.
+package wire
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sdb/internal/engine"
+	"sdb/internal/types"
+)
+
+// Request is one statement execution request.
+type Request struct {
+	SQL string
+}
+
+// Value is the wire form of types.Value (big.Int flattened to bytes).
+type Value struct {
+	K     uint8
+	I     int64
+	S     string
+	B     []byte
+	BNeg  bool
+	IsSet bool // distinguishes a zero big.Int from absent
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	Err     string
+	Columns []Column
+	Rows    [][]Value
+}
+
+// Column mirrors engine.ResultColumn.
+type Column struct {
+	Name string
+	Kind uint8
+}
+
+// FromValue converts an engine value to its wire form.
+func FromValue(v types.Value) Value {
+	w := Value{K: uint8(v.K), I: v.I, S: v.S}
+	if v.B != nil {
+		w.B = v.B.Bytes()
+		w.BNeg = v.B.Sign() < 0
+		w.IsSet = true
+	}
+	return w
+}
+
+// ToValue converts back to an engine value.
+func ToValue(w Value) types.Value {
+	v := types.Value{K: types.Kind(w.K), I: w.I, S: w.S}
+	if w.IsSet {
+		v.B = new(big.Int).SetBytes(w.B)
+		if w.BNeg {
+			v.B.Neg(v.B)
+		}
+	}
+	return v
+}
+
+// FromResult converts an engine result for the wire.
+func FromResult(r *engine.Result) *Response {
+	resp := &Response{}
+	for _, c := range r.Columns {
+		resp.Columns = append(resp.Columns, Column{Name: c.Name, Kind: uint8(c.Kind)})
+	}
+	for _, row := range r.Rows {
+		wr := make([]Value, len(row))
+		for i, v := range row {
+			wr[i] = FromValue(v)
+		}
+		resp.Rows = append(resp.Rows, wr)
+	}
+	return resp
+}
+
+// ToResult converts a response back into an engine result.
+func ToResult(resp *Response) *engine.Result {
+	r := &engine.Result{}
+	for _, c := range resp.Columns {
+		r.Columns = append(r.Columns, engine.ResultColumn{Name: c.Name, Kind: types.Kind(c.Kind)})
+	}
+	for _, wr := range resp.Rows {
+		row := make(types.Row, len(wr))
+		for i, w := range wr {
+			row[i] = ToValue(w)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Conn frames requests/responses over a stream.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	bw  *bufio.Writer
+}
+
+// NewConn wraps a stream.
+func NewConn(rw io.ReadWriter) *Conn {
+	bw := bufio.NewWriter(rw)
+	return &Conn{
+		enc: gob.NewEncoder(bw),
+		dec: gob.NewDecoder(bufio.NewReader(rw)),
+		bw:  bw,
+	}
+}
+
+// SendRequest writes one request.
+func (c *Conn) SendRequest(req *Request) error {
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("wire: encode request: %w", err)
+	}
+	return c.bw.Flush()
+}
+
+// ReadRequest reads one request.
+func (c *Conn) ReadRequest() (*Request, error) {
+	var req Request
+	if err := c.dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// SendResponse writes one response.
+func (c *Conn) SendResponse(resp *Response) error {
+	if err := c.enc.Encode(resp); err != nil {
+		return fmt.Errorf("wire: encode response: %w", err)
+	}
+	return c.bw.Flush()
+}
+
+// ReadResponse reads one response.
+func (c *Conn) ReadResponse() (*Response, error) {
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

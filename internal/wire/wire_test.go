@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/big"
+	"net"
+	"testing"
+
+	"sdb/internal/engine"
+	"sdb/internal/types"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null,
+		types.NewInt(-42),
+		types.NewDecimal(1234),
+		types.NewDate(10000),
+		types.NewString("hello 世界"),
+		types.NewBool(true),
+		types.NewShare(big.NewInt(0xDEADBEEF)),
+		types.NewShare(new(big.Int).Neg(big.NewInt(7))),
+		types.NewShare(new(big.Int)), // zero share must survive
+	}
+	for _, v := range vals {
+		got := ToValue(FromValue(v))
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := &engine.Result{
+		Columns: []engine.ResultColumn{{Name: "a", Kind: types.KindInt}, {Name: "e", Kind: types.KindShare}},
+		Rows: []types.Row{
+			{types.NewInt(1), types.NewShare(big.NewInt(999))},
+			{types.Null, types.NewShare(big.NewInt(1))},
+		},
+	}
+	got := ToResult(FromResult(res))
+	if len(got.Columns) != 2 || got.Columns[1].Kind != types.KindShare {
+		t.Fatalf("columns: %+v", got.Columns)
+	}
+	for i := range res.Rows {
+		for c := range res.Rows[i] {
+			if !got.Rows[i][c].Equal(res.Rows[i][c]) {
+				t.Errorf("cell %d/%d: %v vs %v", i, c, got.Rows[i][c], res.Rows[i][c])
+			}
+		}
+	}
+}
+
+type pipeRW struct {
+	io.Reader
+	io.Writer
+}
+
+func TestConnFraming(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	client := NewConn(c1)
+	server := NewConn(c2)
+
+	done := make(chan error, 1)
+	go func() {
+		req, err := server.ReadRequest()
+		if err != nil {
+			done <- err
+			return
+		}
+		if req.SQL != "SELECT 1" {
+			t.Errorf("got %q", req.SQL)
+		}
+		done <- server.SendResponse(&Response{Err: "boom"})
+	}()
+
+	if err := client.SendRequest(&Request{SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "boom" {
+		t.Errorf("resp err = %q", resp.Err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnBufferedWriter(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&pipeRW{Reader: &buf, Writer: &buf})
+	if err := c.SendRequest(&Request{SQL: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := c.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.SQL != "x" {
+		t.Errorf("got %q", req.SQL)
+	}
+}
