@@ -19,13 +19,23 @@ import (
 	"sdb/internal/baseline"
 	"sdb/internal/baseline/paillier"
 	"sdb/internal/baseline/shipall"
+	"sdb/internal/bigmod"
 	"sdb/internal/engine"
+	"sdb/internal/parallel"
 	"sdb/internal/proxy"
 	"sdb/internal/secure"
 	"sdb/internal/sqlparser"
 	"sdb/internal/storage"
 	"sdb/internal/tpch"
 )
+
+// reportRows attaches the harness-wide throughput convention: rows/s for
+// row-oriented benchmarks (rowsPerOp rows processed per iteration) plus
+// SetBytes so ns/op gets a MB/s companion scaled to the modulus width.
+func reportRows(b *testing.B, rowsPerOp int, bits int) {
+	b.SetBytes(int64(rowsPerOp * bits / 8))
+	b.ReportMetric(float64(rowsPerOp*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
 
 // opFixture holds per-modulus-width operator state.
 type opFixture struct {
@@ -77,6 +87,7 @@ func BenchmarkOpMultiply(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				secure.Multiply(f.ae, f.be, f.s.N())
 			}
+			reportRows(b, 1, bits)
 		})
 	}
 }
@@ -95,26 +106,31 @@ func BenchmarkOpSuite(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportRows(b, 1, bits)
 		})
 		b.Run(fmt.Sprintf("decrypt/n=%d", bits), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				f.s.Decrypt(f.ae, f.rid, f.ckA)
 			}
+			reportRows(b, 1, bits)
 		})
 		b.Run(fmt.Sprintf("keyupdate/n=%d", bits), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				secure.ApplyToken(tokUpdate, f.ae, f.w, n)
 			}
+			reportRows(b, 1, bits)
 		})
 		b.Run(fmt.Sprintf("flatten/n=%d", bits), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				secure.ApplyToken(tokFlat, f.ae, f.w, n)
 			}
+			reportRows(b, 1, bits)
 		})
 		b.Run(fmt.Sprintf("addsamekey/n=%d", bits), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				secure.AddShares(f.ae, f.ae, n)
 			}
+			reportRows(b, 1, bits)
 		})
 		b.Run(fmt.Sprintf("tokengen/n=%d", bits), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -122,8 +138,80 @@ func BenchmarkOpSuite(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportRows(b, 1, bits)
 		})
+
+		// Batched key update, serial vs parallel: the chunked worker-pool
+		// path the engine uses for token application over a stored column.
+		// On a multi-core runner the parallel variant should approach
+		// serial × GOMAXPROCS.
+		batch := batchFixture(b, bits, 256)
+		for _, mode := range []struct {
+			name string
+			pool *parallel.Pool
+		}{
+			{"keyupdate-batch-serial", parallel.New(1, 32)},
+			{"keyupdate-batch-parallel", parallel.New(0, 32)},
+		} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, bits), func(b *testing.B) {
+				out := make([]*big.Int, len(batch.ae))
+				// Both modes start from a cold fixed-base cache so the
+				// serial/parallel pair measures pool scaling, not which
+				// mode ran first and paid the table warm-up.
+				bigmod.FixedBaseCacheReset()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					err := mode.pool.ForEachChunk(len(batch.ae), func(_, lo, hi int) error {
+						for j := lo; j < hi; j++ {
+							out[j] = secure.ApplyToken(tokUpdate, batch.ae[j], batch.w[j], n)
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportRows(b, len(batch.ae), bits)
+			})
+		}
 	}
+}
+
+// opBatch holds per-row shares and helpers for batched operator runs.
+type opBatch struct {
+	w  []*big.Int
+	ae []*big.Int
+}
+
+var (
+	opBatches   = map[int]*opBatch{}
+	opBatchesMu sync.Mutex
+)
+
+// batchFixture lazily builds size independent encrypted rows at the given
+// modulus width (each with its own row id and helper, like a stored column).
+func batchFixture(b *testing.B, bits, size int) *opBatch {
+	b.Helper()
+	opBatchesMu.Lock()
+	defer opBatchesMu.Unlock()
+	if batch, ok := opBatches[bits]; ok {
+		return batch
+	}
+	f := fixture(b, bits)
+	batch := &opBatch{w: make([]*big.Int, size), ae: make([]*big.Int, size)}
+	for i := 0; i < size; i++ {
+		rid, err := f.s.NewRowID()
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch.w[i] = f.s.RowHelper(rid)
+		if batch.ae[i], err = f.s.EncryptInt64(int64(i*31-500), rid, f.ckA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opBatches[bits] = batch
+	return batch
 }
 
 // BenchmarkOpCompare times the full comparison protocol per row (key
@@ -144,6 +232,7 @@ func BenchmarkOpCompare(b *testing.B) {
 				masked := secure.Multiply(diff, me, n)
 				secure.MaskedSign(secure.ApplyToken(rev, masked, f.w, n), half)
 			}
+			reportRows(b, 1, bits)
 		})
 	}
 }
@@ -161,6 +250,7 @@ func BenchmarkPaillierVsSDBSum(b *testing.B) {
 			acc.Add(acc, tag)
 			acc.Mod(acc, n)
 		}
+		reportRows(b, 1, 1024)
 	})
 	sk, err := paillier.GenerateKey(1024)
 	if err != nil {
@@ -172,6 +262,7 @@ func BenchmarkPaillierVsSDBSum(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			acc = sk.Add(acc, c)
 		}
+		reportRows(b, 1, 1024)
 	})
 }
 
@@ -179,8 +270,16 @@ func BenchmarkPaillierVsSDBSum(b *testing.B) {
 // over the same generated TPC-H data.
 
 type e2eFixture struct {
-	sdb   *proxy.Proxy
-	plain *proxy.Proxy
+	sdb    *proxy.Proxy
+	plain  *proxy.Proxy
+	sdbEng *engine.Engine
+}
+
+// setMode flips the secure deployment between serial and parallel chunked
+// execution (engine and proxy share the knobs).
+func (f *e2eFixture) setMode(parallelism int) {
+	f.sdbEng.SetOptions(engine.Options{Parallelism: parallelism})
+	f.sdb.SetOptions(proxy.Options{Parallelism: parallelism})
 }
 
 var (
@@ -231,7 +330,7 @@ func e2eSetup(b *testing.B) *e2eFixture {
 			_, err := pp.Exec(sql)
 			return err
 		})
-		e2e = &e2eFixture{sdb: p, plain: pp}
+		e2e = &e2eFixture{sdb: p, plain: pp, sdbEng: spEng}
 	})
 	if e2eErr != nil {
 		b.Fatal(e2eErr)
@@ -241,25 +340,32 @@ func e2eSetup(b *testing.B) *e2eFixture {
 
 // BenchmarkTPCHQueries is experiment E9: end-to-end latency of the runnable
 // TPC-H queries through SDB versus the plaintext engine. The ratio is the
-// price of encrypted processing.
+// price of encrypted processing. The sdb-serial/sdb-parallel pair isolates
+// the chunked worker-pool win on the same deployment (expect ≥ 2x on a
+// multi-core runner; identical on one core).
 func BenchmarkTPCHQueries(b *testing.B) {
 	f := e2eSetup(b)
+	defer f.setMode(0)
+	run := func(name string, p *proxy.Proxy, sql string) {
+		b.Run(name, func(b *testing.B) {
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				res, err := p.Exec(sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = len(res.Rows)
+			}
+			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
 	for _, q := range tpch.RunnableQueries() {
 		q := q
-		b.Run(fmt.Sprintf("Q%d/sdb", q.Num), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := f.sdb.Exec(q.SQL); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		b.Run(fmt.Sprintf("Q%d/plain", q.Num), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := f.plain.Exec(q.SQL); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		f.setMode(1)
+		run(fmt.Sprintf("Q%d/sdb-serial", q.Num), f.sdb, q.SQL)
+		f.setMode(0)
+		run(fmt.Sprintf("Q%d/sdb-parallel", q.Num), f.sdb, q.SQL)
+		run(fmt.Sprintf("Q%d/plain", q.Num), f.plain, q.SQL)
 	}
 }
 

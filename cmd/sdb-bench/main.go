@@ -27,21 +27,38 @@ import (
 	"sdb/internal/tpch"
 )
 
+// execOpts carries the parallel-execution knobs into deployments.
+type execOpts struct {
+	parallel int
+	chunk    int
+}
+
+func (o execOpts) engine() engine.Options {
+	return engine.Options{Parallelism: o.parallel, ChunkSize: o.chunk}
+}
+
+func (o execOpts) proxy() proxy.Options {
+	return proxy.Options{Parallelism: o.parallel, ChunkSize: o.chunk}
+}
+
 func main() {
 	exp := flag.String("exp", "coverage", "experiment: coverage|breakdown|shipall|tpch|ops")
 	sf := flag.Float64("sf", 0.001, "TPC-H scale factor for data-driven experiments")
 	bits := flag.Int("bits", 512, "modulus width for ops experiment and deployments")
+	par := flag.Int("parallel", 0, "secure-operator worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	chunk := flag.Int("chunk", 0, "rows per evaluation chunk (0 = default 1024)")
 	flag.Parse()
+	opts := execOpts{parallel: *par, chunk: *chunk}
 
 	switch *exp {
 	case "coverage":
 		coverage()
 	case "breakdown":
-		breakdown(*sf, *bits)
+		breakdown(*sf, *bits, opts)
 	case "shipall":
-		shipallExp(*sf, *bits)
+		shipallExp(*sf, *bits, opts)
 	case "tpch":
-		tpchExp(*sf, *bits)
+		tpchExp(*sf, *bits, opts)
 	case "ops":
 		ops(*bits)
 	default:
@@ -96,13 +113,13 @@ func orDash(s string) string {
 }
 
 // deployment builds an SDB proxy + in-process SP loaded with TPC-H data.
-func deployment(sf float64, bits int) *proxy.Proxy {
+func deployment(sf float64, bits int, opts execOpts) *proxy.Proxy {
 	secret, err := secure.Setup(bits, secure.DefaultValueBits, secure.DefaultMaskBits)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := engine.New(storage.NewCatalog(), secret.N())
-	p, err := proxy.New(secret, eng)
+	eng := engine.NewWithOptions(storage.NewCatalog(), secret.N(), opts.engine())
+	p, err := proxy.NewWithOptions(secret, eng, opts.proxy())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -122,13 +139,13 @@ func deployment(sf float64, bits int) *proxy.Proxy {
 	return p
 }
 
-func plainDeployment(sf float64) *proxy.Proxy {
+func plainDeployment(sf float64, opts execOpts) *proxy.Proxy {
 	secret, err := secure.Setup(256, 62, 80)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := engine.New(storage.NewCatalog(), nil)
-	p, err := proxy.New(secret, eng)
+	eng := engine.NewWithOptions(storage.NewCatalog(), nil, opts.engine())
+	p, err := proxy.NewWithOptions(secret, eng, opts.proxy())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,8 +169,8 @@ func plainDeployment(sf float64) *proxy.Proxy {
 }
 
 // breakdown is E3: client vs server cost per query.
-func breakdown(sf float64, bits int) {
-	p := deployment(sf, bits)
+func breakdown(sf float64, bits int, opts execOpts) {
+	p := deployment(sf, bits, opts)
 	w := tw()
 	fmt.Fprintln(w, "query\tparse\trewrite\tdecrypt\tclient\tserver\tclient share")
 	for _, q := range tpch.RunnableQueries() {
@@ -172,8 +189,8 @@ func breakdown(sf float64, bits int) {
 }
 
 // shipallExp is E7: SDB vs ship-everything across selectivities.
-func shipallExp(sf float64, bits int) {
-	p := deployment(sf, bits)
+func shipallExp(sf float64, bits int, opts execOpts) {
+	p := deployment(sf, bits, opts)
 	ship := shipall.New(p)
 	w := tw()
 	fmt.Fprintln(w, "selectivity\tSDB\tship-all\trows shipped (ship-all)")
@@ -203,9 +220,9 @@ func shipallExp(sf float64, bits int) {
 }
 
 // tpchExp is E9: TPC-H latency, SDB vs plaintext engine.
-func tpchExp(sf float64, bits int) {
-	p := deployment(sf, bits)
-	plain := plainDeployment(sf)
+func tpchExp(sf float64, bits int, opts execOpts) {
+	p := deployment(sf, bits, opts)
+	plain := plainDeployment(sf, opts)
 	w := tw()
 	fmt.Fprintln(w, "query\tSDB\tplaintext\toverhead")
 	for _, q := range tpch.RunnableQueries() {

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"sdb/internal/engine"
 	"sdb/internal/secure"
 	"sdb/internal/server"
 )
@@ -21,6 +22,8 @@ import (
 func main() {
 	listen := flag.String("listen", ":7070", "address to listen on")
 	public := flag.String("public", "", "public parameters file written by 'sdb keygen'")
+	par := flag.Int("parallel", 0, "secure-operator worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	chunk := flag.Int("chunk", 0, "rows per evaluation chunk (0 = default 1024)")
 	flag.Parse()
 
 	if *public == "" {
@@ -35,7 +38,7 @@ func main() {
 		log.Fatalf("sdb-server: %v", err)
 	}
 
-	srv := server.New(params.N)
+	srv := server.NewWithOptions(params.N, engine.Options{Parallelism: *par, ChunkSize: *chunk})
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("sdb-server: %v", err)

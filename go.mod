@@ -1,0 +1,3 @@
+module sdb
+
+go 1.22

@@ -1,0 +1,190 @@
+package bigmod
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func testModulus(t testing.TB, bits int) *big.Int {
+	t.Helper()
+	p1, err := RandPrime(bits / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RandPrime(bits - bits/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return new(big.Int).Mul(p1, p2)
+}
+
+// TestExpCachedMatchesExp drives ExpCached through the cold path, the
+// threshold crossing and the warm table path, checking every result against
+// big.Int.Exp.
+func TestExpCachedMatchesExp(t *testing.T) {
+	FixedBaseCacheReset()
+	n := testModulus(t, 256)
+	base, err := RandInvertible(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e, err := rand.Int(rand.Reader, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(base, e, n)
+		got := ExpCached(base, e, n)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("iteration %d: ExpCached=%s want %s", i, got, want)
+		}
+	}
+}
+
+// TestExpCachedEdgeExponents covers zero, one, small, negative and
+// wider-than-modulus exponents.
+func TestExpCachedEdgeExponents(t *testing.T) {
+	FixedBaseCacheReset()
+	n := testModulus(t, 192)
+	base, err := RandInvertible(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := new(big.Int).Lsh(n, 70) // exponent wider than the comb table
+	wide.Add(wide, big.NewInt(12345))
+	exps := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		big.NewInt(63),
+		big.NewInt(64),
+		big.NewInt(-1),
+		big.NewInt(-987654321),
+		new(big.Int).Sub(n, big.NewInt(1)),
+		wide,
+		new(big.Int).Neg(wide),
+	}
+	// Warm the table first so every edge case takes the fast path where
+	// it applies.
+	for i := 0; i < fbBuildThreshold+1; i++ {
+		ExpCached(base, big.NewInt(7), n)
+	}
+	for _, e := range exps {
+		want := new(big.Int).Exp(base, e, n)
+		got := ExpCached(base, e, n)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("exp %s: nil divergence got=%v want=%v", e, got, want)
+		}
+		if got != nil && got.Cmp(want) != 0 {
+			t.Fatalf("exp %s: got %s want %s", e, got, want)
+		}
+	}
+}
+
+// TestExpCachedManyBases checks correctness when the admission budget is
+// exhausted: every entry crosses the build threshold but no table fits, so
+// all entries go dead and the plain path must serve every call.
+func TestExpCachedManyBases(t *testing.T) {
+	FixedBaseCacheReset()
+	oldBudget := fbBudget
+	fbBudget = 1 // nothing fits: all entries go fbDead
+	defer func() { fbBudget = oldBudget; FixedBaseCacheReset() }()
+
+	n := testModulus(t, 128)
+	for b := 0; b < 8; b++ {
+		base, err := RandInvertible(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < fbBuildThreshold+2; i++ {
+			e, err := rand.Int(rand.Reader, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := new(big.Int).Exp(base, e, n)
+			if got := ExpCached(base, e, n); got.Cmp(want) != 0 {
+				t.Fatalf("base %d iter %d: got %s want %s", b, i, got, want)
+			}
+		}
+	}
+	fbMu.Lock()
+	defer fbMu.Unlock()
+	if fbBytes != 0 {
+		t.Fatalf("admission budget of 1 byte admitted %d bytes of tables", fbBytes)
+	}
+	for _, e := range fbSlots {
+		if e.state != fbDead {
+			t.Fatalf("entry %q in state %d, want fbDead", e.key[:16], e.state)
+		}
+	}
+}
+
+// TestExpCachedConcurrent hammers one shared base and several private bases
+// from many goroutines; run under -race this is the cache's thread-safety
+// proof (concurrent lookup, build and eviction).
+func TestExpCachedConcurrent(t *testing.T) {
+	FixedBaseCacheReset()
+	n := testModulus(t, 128)
+	shared, err := RandInvertible(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			private, err := RandInvertible(n)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			for i := 0; i < 40; i++ {
+				base := shared
+				if i%3 == int(w)%3 {
+					base = private
+				}
+				e := big.NewInt(int64(w*1000 + i*17 + 1))
+				want := new(big.Int).Exp(base, e, n)
+				if got := ExpCached(base, e, n); got.Cmp(want) != 0 {
+					errs <- "mismatch at worker " + e.String()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func BenchmarkExpPlain(b *testing.B) {
+	n := testModulus(b, 512)
+	base, _ := RandInvertible(n)
+	e, _ := rand.Int(rand.Reader, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exp(base, e, n)
+	}
+}
+
+func BenchmarkExpCachedWarm(b *testing.B) {
+	FixedBaseCacheReset()
+	n := testModulus(b, 512)
+	base, _ := RandInvertible(n)
+	e, _ := rand.Int(rand.Reader, n)
+	for i := 0; i < fbBuildThreshold+1; i++ {
+		ExpCached(base, e, n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExpCached(base, e, n)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
+	"sync/atomic"
 
+	"sdb/internal/parallel"
 	"sdb/internal/secure"
 	"sdb/internal/sqlparser"
 	"sdb/internal/types"
@@ -142,29 +144,44 @@ func (e *Engine) aggregate(rel *relation, s *sqlparser.Select, aggs []*sqlparser
 		specs[i] = spec
 	}
 
-	// Group rows.
+	// Group rows. Key expressions are evaluated in parallel chunks (group
+	// keys over sensitive columns are flat-key UDF tags); the map insert
+	// that assigns rows to groups stays serial to preserve first-encounter
+	// group order.
 	type group struct {
 		key  []types.Value
 		rows []types.Row
 	}
+	rowKeys := make([]string, len(rel.rows))
+	rowKeyVals := make([][]types.Value, len(rel.rows))
+	err := e.pool.ForEachChunk(len(rel.rows), func(_, lo, hi int) error {
+		for r := lo; r < hi; r++ {
+			keyVals := make([]types.Value, len(keyExprs))
+			var sb strings.Builder
+			for i, ke := range keyExprs {
+				v, err := ke(rel.rows[r])
+				if err != nil {
+					return err
+				}
+				keyVals[i] = v
+				sb.WriteString(v.GroupKey())
+				sb.WriteByte('|')
+			}
+			rowKeys[r] = sb.String()
+			rowKeyVals[r] = keyVals
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	groups := make(map[string]*group)
 	var order []string
-	for _, row := range rel.rows {
-		keyVals := make([]types.Value, len(keyExprs))
-		var sb strings.Builder
-		for i, ke := range keyExprs {
-			v, err := ke(row)
-			if err != nil {
-				return nil, nil, err
-			}
-			keyVals[i] = v
-			sb.WriteString(v.GroupKey())
-			sb.WriteByte('|')
-		}
-		k := sb.String()
+	for r, row := range rel.rows {
+		k := rowKeys[r]
 		g, ok := groups[k]
 		if !ok {
-			g = &group{key: keyVals}
+			g = &group{key: rowKeyVals[r]}
 			groups[k] = g
 			order = append(order, k)
 		}
@@ -191,18 +208,43 @@ func (e *Engine) aggregate(rel *relation, s *sqlparser.Select, aggs []*sqlparser
 		subst[spec.call.String()] = sqlparser.ColRef{Name: name}
 	}
 
-	for _, k := range order {
-		g := groups[k]
+	// Aggregate evaluation: with many groups, parallelise across groups
+	// (one worker per group chunk); with a single group — the global
+	// aggregate shape of TPC-H Q6 — computeAggregate parallelises within
+	// the group via chunked partial sums / local extremes instead.
+	withinGroup := len(order) == 1
+	out.rows = make([]types.Row, len(order))
+	buildGroup := func(gi int) error {
+		g := groups[order[gi]]
 		row := make(types.Row, 0, len(out.cols))
 		row = append(row, g.key...)
 		for _, spec := range specs {
-			v, err := e.computeAggregate(spec.name, spec.call, spec.args, spec.p, spec.n, g.rows)
+			v, err := e.computeAggregate(spec.name, spec.call, spec.args, spec.p, spec.n, g.rows, withinGroup)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			row = append(row, v)
 		}
-		out.rows = append(out.rows, row)
+		out.rows[gi] = row
+		return nil
+	}
+	if withinGroup {
+		if err := buildGroup(0); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		groupPool := parallel.New(e.pool.Workers(), 1)
+		err := groupPool.ForEachChunk(len(order), func(_, lo, hi int) error {
+			for gi := lo; gi < hi; gi++ {
+				if err := buildGroup(gi); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Rewrite the Select to reference the aggregated columns.
@@ -236,14 +278,49 @@ func (e *Engine) aggregate(rel *relation, s *sqlparser.Select, aggs []*sqlparser
 	return out, rs, nil
 }
 
-// computeAggregate evaluates one aggregate over a group's rows.
-func (e *Engine) computeAggregate(name string, call *sqlparser.FuncCall, args []compiledExpr, pV, nV types.Value, rows []types.Row) (types.Value, error) {
+// aggPool returns the pool for within-group chunking: the engine pool when
+// par is set (single-group/global aggregates), a serial pool otherwise
+// (grouped queries already parallelise across groups; nesting would square
+// the worker count).
+func (e *Engine) aggPool(par bool) *parallel.Pool {
+	if par {
+		return e.pool
+	}
+	return parallel.New(1, e.pool.ChunkSize())
+}
+
+// countRows counts non-null argument values over the rows, chunked.
+func countRows(pool *parallel.Pool, arg compiledExpr, rows []types.Row) (int64, error) {
+	var c atomic.Int64
+	err := pool.ForEachChunk(len(rows), func(_, lo, hi int) error {
+		var local int64
+		for i := lo; i < hi; i++ {
+			v, err := arg(rows[i])
+			if err != nil {
+				return err
+			}
+			if !v.IsNull() {
+				local++
+			}
+		}
+		c.Add(local)
+		return nil
+	})
+	return c.Load(), err
+}
+
+// computeAggregate evaluates one aggregate over a group's rows. par enables
+// within-group chunked parallelism (global aggregates); grouped evaluation
+// passes false because the caller already runs groups concurrently.
+func (e *Engine) computeAggregate(name string, call *sqlparser.FuncCall, args []compiledExpr, pV, nV types.Value, rows []types.Row, par bool) (types.Value, error) {
+	pool := e.aggPool(par)
 	switch name {
 	case "count":
 		if call.Star {
 			return types.NewInt(int64(len(rows))), nil
 		}
 		if call.Distinct {
+			// DISTINCT needs one shared dedup set; keep it serial.
 			seen := make(map[string]bool)
 			for _, row := range rows {
 				v, err := args[0](row)
@@ -256,38 +333,26 @@ func (e *Engine) computeAggregate(name string, call *sqlparser.FuncCall, args []
 			}
 			return types.NewInt(int64(len(seen))), nil
 		}
-		var c int64
-		for _, row := range rows {
-			v, err := args[0](row)
-			if err != nil {
-				return types.Null, err
-			}
-			if !v.IsNull() {
-				c++
-			}
+		c, err := countRows(pool, args[0], rows)
+		if err != nil {
+			return types.Null, err
 		}
 		return types.NewInt(c), nil
 
 	case "sum":
-		return e.sumAggregate(call, args, rows)
+		return e.sumAggregate(call, args, rows, pool)
 
 	case "avg":
-		sum, err := e.sumAggregate(call, args, rows)
+		sum, err := e.sumAggregate(call, args, rows, pool)
 		if err != nil {
 			return types.Null, err
 		}
 		if sum.K == types.KindShare {
 			return types.Null, fmt.Errorf("engine: AVG over shares must be rewritten to SUM + COUNT")
 		}
-		var c int64
-		for _, row := range rows {
-			v, err := args[0](row)
-			if err != nil {
-				return types.Null, err
-			}
-			if !v.IsNull() {
-				c++
-			}
+		c, err := countRows(pool, args[0], rows)
+		if err != nil {
+			return types.Null, err
 		}
 		if c == 0 || sum.IsNull() {
 			return types.Null, nil
@@ -297,7 +362,116 @@ func (e *Engine) computeAggregate(name string, call *sqlparser.FuncCall, args []
 		return types.Value{K: types.KindDecimal, I: sum.I * 100 / c}, nil
 
 	case "min", "max":
+		min := name == "min"
+		better := func(v, best types.Value) bool {
+			return best.IsNull() ||
+				(min && v.Compare(best) < 0) ||
+				(!min && v.Compare(best) > 0)
+		}
+		// Chunked local extremes, then a serial reduce over the chunk
+		// winners (plaintext comparison is a total order, so the winner is
+		// independent of association).
+		bests := make([]types.Value, pool.NumChunks(len(rows)))
+		err := pool.ForEachChunk(len(rows), func(chunk, lo, hi int) error {
+			var best types.Value
+			for i := lo; i < hi; i++ {
+				v, err := args[0](rows[i])
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
+				if v.K == types.KindShare {
+					return fmt.Errorf("engine: MIN/MAX over shares requires sdb_min/sdb_max with an order token")
+				}
+				if better(v, best) {
+					best = v
+				}
+			}
+			bests[chunk] = best
+			return nil
+		})
+		if err != nil {
+			return types.Null, err
+		}
 		var best types.Value
+		for _, v := range bests {
+			if !v.IsNull() && better(v, best) {
+				best = v
+			}
+		}
+		return best, nil
+
+	case "sdb_min", "sdb_max":
+		return e.secureExtreme(name == "sdb_min", args, pV, nV, rows, pool)
+
+	default:
+		return types.Null, fmt.Errorf("engine: unknown aggregate %q", name)
+	}
+}
+
+// sumPartial is one chunk's contribution to a SUM: machine-integer and
+// modular share accumulators plus the kind transition the chunk ended in.
+type sumPartial struct {
+	intSum   int64
+	shareSum *big.Int
+	kind     types.Kind
+}
+
+// addValue applies one value to the partial, mirroring the serial kind
+// transitions exactly so chunked and serial execution agree.
+func (sp *sumPartial) addValue(v types.Value, n *big.Int) error {
+	switch v.K {
+	case types.KindShare:
+		// Modular share sum: all inputs are under a common flat key
+		// (the proxy's rewrite guarantees it), so the sum is a share
+		// of the plaintext sum under that key.
+		if n == nil {
+			return fmt.Errorf("engine: share SUM requires a configured modulus")
+		}
+		if sp.shareSum == nil {
+			sp.shareSum = new(big.Int)
+		}
+		sp.shareSum.Add(sp.shareSum, v.B)
+		sp.shareSum.Mod(sp.shareSum, n)
+		sp.kind = types.KindShare
+	case types.KindInt, types.KindDecimal:
+		sp.intSum += v.I
+		if sp.kind != types.KindDecimal {
+			sp.kind = v.K
+		}
+	default:
+		return fmt.Errorf("engine: cannot SUM %s", v.K)
+	}
+	return nil
+}
+
+// merge folds another chunk's partial into sp (chunk order), replaying the
+// same transitions on the aggregated quantities.
+func (sp *sumPartial) merge(other sumPartial, n *big.Int) {
+	if other.kind == types.KindNull {
+		return
+	}
+	if other.shareSum != nil {
+		if sp.shareSum == nil {
+			sp.shareSum = new(big.Int)
+		}
+		sp.shareSum.Add(sp.shareSum, other.shareSum)
+		sp.shareSum.Mod(sp.shareSum, n)
+	}
+	sp.intSum += other.intSum
+	if sp.kind != types.KindDecimal || other.kind == types.KindShare {
+		sp.kind = other.kind
+	}
+}
+
+func (e *Engine) sumAggregate(call *sqlparser.FuncCall, args []compiledExpr, rows []types.Row, pool *parallel.Pool) (types.Value, error) {
+	var total sumPartial
+	total.kind = types.KindNull
+	if call.Distinct {
+		// DISTINCT needs one shared dedup set; keep it serial.
+		seen := make(map[string]bool)
 		for _, row := range rows {
 			v, err := args[0](row)
 			if err != nil {
@@ -306,75 +480,51 @@ func (e *Engine) computeAggregate(name string, call *sqlparser.FuncCall, args []
 			if v.IsNull() {
 				continue
 			}
-			if v.K == types.KindShare {
-				return types.Null, fmt.Errorf("engine: MIN/MAX over shares requires sdb_min/sdb_max with an order token")
-			}
-			if best.IsNull() ||
-				(name == "min" && v.Compare(best) < 0) ||
-				(name == "max" && v.Compare(best) > 0) {
-				best = v
-			}
-		}
-		return best, nil
-
-	case "sdb_min", "sdb_max":
-		return e.secureExtreme(name == "sdb_min", args, pV, nV, rows)
-
-	default:
-		return types.Null, fmt.Errorf("engine: unknown aggregate %q", name)
-	}
-}
-
-func (e *Engine) sumAggregate(call *sqlparser.FuncCall, args []compiledExpr, rows []types.Row) (types.Value, error) {
-	var intSum int64
-	var shareSum *big.Int
-	kind := types.KindNull
-	seen := make(map[string]bool)
-	for _, row := range rows {
-		v, err := args[0](row)
-		if err != nil {
-			return types.Null, err
-		}
-		if v.IsNull() {
-			continue
-		}
-		if call.Distinct {
 			k := v.GroupKey()
 			if seen[k] {
 				continue
 			}
 			seen[k] = true
+			if err := total.addValue(v, e.n); err != nil {
+				return types.Null, err
+			}
 		}
-		switch v.K {
-		case types.KindShare:
-			// Modular share sum: all inputs are under a common flat key
-			// (the proxy's rewrite guarantees it), so the sum is a share
-			// of the plaintext sum under that key.
-			if e.n == nil {
-				return types.Null, fmt.Errorf("engine: share SUM requires a configured modulus")
+	} else {
+		// Chunked partial sums, merged in chunk order. Integer addition
+		// and the modular share sum are both associative, so the result
+		// is identical to the serial fold.
+		parts := make([]sumPartial, pool.NumChunks(len(rows)))
+		err := pool.ForEachChunk(len(rows), func(chunk, lo, hi int) error {
+			part := sumPartial{kind: types.KindNull}
+			for i := lo; i < hi; i++ {
+				v, err := args[0](rows[i])
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
+				if err := part.addValue(v, e.n); err != nil {
+					return err
+				}
 			}
-			if shareSum == nil {
-				shareSum = new(big.Int)
-			}
-			shareSum.Add(shareSum, v.B)
-			shareSum.Mod(shareSum, e.n)
-			kind = types.KindShare
-		case types.KindInt, types.KindDecimal:
-			intSum += v.I
-			if kind != types.KindDecimal {
-				kind = v.K
-			}
-		default:
-			return types.Null, fmt.Errorf("engine: cannot SUM %s", v.K)
+			parts[chunk] = part
+			return nil
+		})
+		if err != nil {
+			return types.Null, err
+		}
+		for _, part := range parts {
+			total.merge(part, e.n)
 		}
 	}
-	switch kind {
+	switch total.kind {
 	case types.KindNull:
 		return types.Null, nil
 	case types.KindShare:
-		return types.NewShare(shareSum), nil
+		return types.NewShare(total.shareSum), nil
 	default:
-		return types.Value{K: kind, I: intSum}, nil
+		return types.Value{K: total.kind, I: total.intSum}, nil
 	}
 }
 
@@ -382,44 +532,70 @@ func (e *Engine) sumAggregate(call *sqlparser.FuncCall, args []compiledExpr, row
 // masked comparison (tag_c − tag_best)·mtag_c revealed with the flat
 // product token P (Q = 0 because flat keys do not involve the row id).
 // The winner's tag is returned, still encrypted under the flat key.
-func (e *Engine) secureExtreme(min bool, args []compiledExpr, pV, nV types.Value, rows []types.Row) (types.Value, error) {
+//
+// Parallel shape: a chunked tournament. Each chunk finds its local winner
+// (tag plus that row's mask, needed to compare the winner later); the chunk
+// winners are reduced serially with the same masked-comparison protocol.
+// Flat-key tags are deterministic per plaintext, so the winning tag is
+// independent of the comparison association.
+func (e *Engine) secureExtreme(min bool, args []compiledExpr, pV, nV types.Value, rows []types.Row, pool *parallel.Pool) (types.Value, error) {
 	if pV.K != types.KindShare || nV.K != types.KindShare {
 		return types.Null, fmt.Errorf("engine: sdb_min/sdb_max need hex p and n")
 	}
 	p, n := pV.B, nV.B
 	half := new(big.Int).Rsh(n, 1)
-	var bestTag *big.Int
-	for _, row := range rows {
-		tag, err := args[0](row)
-		if err != nil {
-			return types.Null, err
-		}
-		mtag, err := args[1](row)
-		if err != nil {
-			return types.Null, err
-		}
-		if tag.IsNull() {
-			continue
-		}
-		if tag.K != types.KindShare || mtag.K != types.KindShare {
-			return types.Null, fmt.Errorf("engine: sdb_min/sdb_max args must be shares")
-		}
-		if bestTag == nil {
-			bestTag = tag.B
-			continue
-		}
-		diff := secure.SubShares(tag.B, bestTag, n)
-		masked := secure.Multiply(diff, mtag.B, n)
+
+	// beats reports whether candidate (tag, mtag) wins against best.
+	beats := func(tag, mtag, best *big.Int) bool {
+		diff := secure.SubShares(tag, best, n)
+		masked := secure.Multiply(diff, mtag, n)
 		revealed := secure.Multiply(masked, p, n)
 		sign := secure.MaskedSign(revealed, half)
-		if (min && sign < 0) || (!min && sign > 0) {
-			bestTag = tag.B
+		return (min && sign < 0) || (!min && sign > 0)
+	}
+
+	type winner struct{ tag, mtag *big.Int }
+	winners := make([]winner, pool.NumChunks(len(rows)))
+	err := pool.ForEachChunk(len(rows), func(chunk, lo, hi int) error {
+		var best winner
+		for i := lo; i < hi; i++ {
+			tag, err := args[0](rows[i])
+			if err != nil {
+				return err
+			}
+			mtag, err := args[1](rows[i])
+			if err != nil {
+				return err
+			}
+			if tag.IsNull() {
+				continue
+			}
+			if tag.K != types.KindShare || mtag.K != types.KindShare {
+				return fmt.Errorf("engine: sdb_min/sdb_max args must be shares")
+			}
+			if best.tag == nil || beats(tag.B, mtag.B, best.tag) {
+				best = winner{tag: tag.B, mtag: mtag.B}
+			}
+		}
+		winners[chunk] = best
+		return nil
+	})
+	if err != nil {
+		return types.Null, err
+	}
+	var best winner
+	for _, w := range winners {
+		if w.tag == nil {
+			continue
+		}
+		if best.tag == nil || beats(w.tag, w.mtag, best.tag) {
+			best = w
 		}
 	}
-	if bestTag == nil {
+	if best.tag == nil {
 		return types.Null, nil
 	}
-	return types.NewShare(bestTag), nil
+	return types.NewShare(best.tag), nil
 }
 
 // secureCompare orders two rows by their flat-key tags using per-pair mask

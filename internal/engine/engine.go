@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
+	"sync/atomic"
 
+	"sdb/internal/parallel"
 	"sdb/internal/sqlparser"
 	"sdb/internal/storage"
 	"sdb/internal/types"
@@ -34,16 +36,42 @@ type Engine struct {
 	// n is the public modulus used by the SDB UDFs; nil disables them.
 	n    *big.Int
 	half *big.Int
+	// pool dispatches chunked row evaluation (filters, projections, UDF
+	// columns, secure aggregates) to bounded workers.
+	pool *parallel.Pool
 }
 
-// New builds an engine over the catalog. n is the public SDB modulus (may
-// be nil for a plaintext-only deployment).
+// Options tune the engine's chunked parallel execution.
+type Options struct {
+	// Parallelism bounds the worker goroutines for row-chunk evaluation.
+	// <= 0 means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	Parallelism int
+	// ChunkSize is the number of rows per dispatched chunk. <= 0 means
+	// parallel.DefaultChunkSize (1024).
+	ChunkSize int
+}
+
+// New builds an engine over the catalog with default (GOMAXPROCS-wide)
+// parallelism. n is the public SDB modulus (may be nil for a
+// plaintext-only deployment).
 func New(catalog *storage.Catalog, n *big.Int) *Engine {
-	e := &Engine{catalog: catalog, n: n}
+	return NewWithOptions(catalog, n, Options{})
+}
+
+// NewWithOptions is New with explicit execution options.
+func NewWithOptions(catalog *storage.Catalog, n *big.Int, opts Options) *Engine {
+	e := &Engine{catalog: catalog, n: n, pool: parallel.New(opts.Parallelism, opts.ChunkSize)}
 	if n != nil {
 		e.half = new(big.Int).Rsh(n, 1)
 	}
 	return e
+}
+
+// SetOptions replaces the execution options. It must not be called
+// concurrently with running statements (benchmarks flip a deployment
+// between serial and parallel with it).
+func (e *Engine) SetOptions(opts Options) {
+	e.pool = parallel.New(opts.Parallelism, opts.ChunkSize)
 }
 
 // Catalog exposes the underlying catalog (used by upload paths and tests).
@@ -113,33 +141,43 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 		}
 	}
 
-	updated := 0
-	for i, row := range rel.rows {
-		if where != nil {
-			ok, err := where(row)
-			if err != nil {
-				return nil, err
+	// Chunked parallel update: rows are independent (each SET expression
+	// reads the scanned snapshot and writes its own row's slots), which is
+	// what makes server-side key rotation scale with cores.
+	var updated atomic.Int64
+	err = e.pool.ForEachChunk(len(rel.rows), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := rel.rows[i]
+			if where != nil {
+				ok, err := where(row)
+				if err != nil {
+					return err
+				}
+				if !ok.Bool() {
+					continue
+				}
 			}
-			if !ok.Bool() {
-				continue
+			for _, set := range sets {
+				v, err := set.expr(row)
+				if err != nil {
+					return err
+				}
+				v, err = coerceForColumn(v, t.Schema.Columns[set.colIdx])
+				if err != nil {
+					return fmt.Errorf("engine: column %q: %w", t.Schema.Columns[set.colIdx].Name, err)
+				}
+				t.Cols[set.colIdx][i] = v
 			}
+			updated.Add(1)
 		}
-		for _, set := range sets {
-			v, err := set.expr(row)
-			if err != nil {
-				return nil, err
-			}
-			v, err = coerceForColumn(v, t.Schema.Columns[set.colIdx])
-			if err != nil {
-				return nil, fmt.Errorf("engine: column %q: %w", t.Schema.Columns[set.colIdx].Name, err)
-			}
-			t.Cols[set.colIdx][i] = v
-		}
-		updated++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		Columns: []ResultColumn{{Name: "updated", Kind: types.KindInt}},
-		Rows:    []types.Row{{types.NewInt(int64(updated))}},
+		Rows:    []types.Row{{types.NewInt(updated.Load())}},
 	}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"sdb/internal/parallel"
 	"sdb/internal/sqlparser"
 	"sdb/internal/types"
 )
@@ -22,17 +23,9 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		filtered := rel.rows[:0:0]
-		for _, row := range rel.rows {
-			ok, err := pred(row)
-			if err != nil {
-				return nil, err
-			}
-			if ok.Bool() {
-				filtered = append(filtered, row)
-			}
+		if rel, err = e.filterRows(rel, pred); err != nil {
+			return nil, err
 		}
-		rel = &relation{cols: rel.cols, rows: filtered}
 	}
 
 	// Aggregation?
@@ -50,17 +43,9 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			kept := rel.rows[:0:0]
-			for _, row := range rel.rows {
-				ok, err := pred(row)
-				if err != nil {
-					return nil, err
-				}
-				if ok.Bool() {
-					kept = append(kept, row)
-				}
+			if rel, err = e.filterRows(rel, pred); err != nil {
+				return nil, err
 			}
-			rel = &relation{cols: rel.cols, rows: kept}
 		}
 	} else if s.Having != nil {
 		return nil, fmt.Errorf("engine: HAVING without aggregation")
@@ -71,17 +56,21 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	outRows := make([]types.Row, len(rel.rows))
-	for i, row := range rel.rows {
+	// Chunked parallel projection: every SDB UDF in the select list (share
+	// multiplies, key updates, sign evaluations) runs here.
+	outRows, err := parallel.Map(e.pool, len(rel.rows), func(i int) (types.Row, error) {
 		out := make(types.Row, len(outExprs))
 		for c, ex := range outExprs {
-			v, err := ex(row)
+			v, err := ex(rel.rows[i])
 			if err != nil {
 				return nil, err
 			}
 			out[c] = v
 		}
-		outRows[i] = out
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// ORDER BY: evaluated against the pre-projection relation, with
@@ -123,6 +112,30 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// filterRows evaluates pred over the relation in parallel chunks and
+// compacts the survivors, preserving row order. Predicates over sensitive
+// columns evaluate SDB UDFs (token applications, masked signs), so this is
+// a secure-operator hot path.
+func (e *Engine) filterRows(rel *relation, pred compiledExpr) (*relation, error) {
+	keep, err := parallel.Map(e.pool, len(rel.rows), func(i int) (bool, error) {
+		ok, err := pred(rel.rows[i])
+		if err != nil {
+			return false, err
+		}
+		return ok.Bool(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := rel.rows[:0:0]
+	for i, row := range rel.rows {
+		if keep[i] {
+			kept = append(kept, row)
+		}
+	}
+	return &relation{cols: rel.cols, rows: kept}, nil
 }
 
 // projection expands stars and compiles the select list.
@@ -204,13 +217,20 @@ func (e *Engine) orderBy(s *sqlparser.Select, rel *relation, outCols []ResultCol
 			k.secTags = make([]types.Value, n)
 			k.secMasks = make([]types.Value, n)
 			k.secP, k.secN = pV, nV
-			for i, row := range rel.rows {
-				if k.secTags[i], err = tagE(row); err != nil {
-					return nil, err
+			err = e.pool.ForEachChunk(n, func(_, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					var err error
+					if k.secTags[i], err = tagE(rel.rows[i]); err != nil {
+						return err
+					}
+					if k.secMasks[i], err = maskE(rel.rows[i]); err != nil {
+						return err
+					}
 				}
-				if k.secMasks[i], err = maskE(row); err != nil {
-					return nil, err
-				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			keys = append(keys, k)
 			continue
@@ -235,11 +255,10 @@ func (e *Engine) orderBy(s *sqlparser.Select, rel *relation, outCols []ResultCol
 			if err != nil {
 				return nil, err
 			}
-			k.vals = make([]types.Value, n)
-			for i, row := range rel.rows {
-				if k.vals[i], err = ce(row); err != nil {
-					return nil, err
-				}
+			if k.vals, err = parallel.Map(e.pool, n, func(i int) (types.Value, error) {
+				return ce(rel.rows[i])
+			}); err != nil {
+				return nil, err
 			}
 		}
 		keys = append(keys, k)

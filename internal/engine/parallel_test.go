@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sdb/internal/storage"
+)
+
+// loadParallelFixture builds an engine over one table with enough rows to
+// span many chunks at the test's tiny chunk size.
+func loadParallelFixture(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e := NewWithOptions(storage.NewCatalog(), nil, opts)
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := e.ExecuteSQL(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec(`CREATE TABLE p (id INT, grp STRING, a INT, b INT)`)
+	rng := rand.New(rand.NewSource(99))
+	groups := []string{"u", "v", "w", "x"}
+	for lo := 0; lo < 3000; lo += 250 {
+		sql := "INSERT INTO p VALUES "
+		for i := lo; i < lo+250; i++ {
+			if i > lo {
+				sql += ", "
+			}
+			sql += fmt.Sprintf("(%d, '%s', %d, %d)",
+				i, groups[rng.Intn(len(groups))], rng.Intn(2001)-1000, rng.Intn(100))
+		}
+		mustExec(sql)
+	}
+	return e
+}
+
+var parallelEquivalenceQueries = []string{
+	`SELECT id, a + b FROM p WHERE a > 0 ORDER BY id`,
+	`SELECT id FROM p WHERE a BETWEEN -100 AND 100 AND b < 50 ORDER BY id DESC LIMIT 40`,
+	`SELECT grp, SUM(a), COUNT(*), MIN(b), MAX(a) FROM p GROUP BY grp ORDER BY grp`,
+	`SELECT SUM(a), COUNT(*), AVG(b), MIN(a), MAX(b) FROM p`,
+	`SELECT grp, SUM(a) AS s FROM p GROUP BY grp HAVING SUM(a) > 0 ORDER BY s`,
+	`SELECT DISTINCT grp FROM p ORDER BY grp`,
+	`SELECT a * b AS ab FROM p WHERE NOT (a > 0) ORDER BY ab, id LIMIT 25`,
+	`SELECT COUNT(DISTINCT grp), SUM(DISTINCT b) FROM p WHERE a != 0`,
+}
+
+func resultsEqual(t *testing.T, sql string, a, b *Result) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: %d vs %d rows", sql, len(a.Rows), len(b.Rows))
+	}
+	for r := range a.Rows {
+		for c := range a.Rows[r] {
+			av, bv := a.Rows[r][c], b.Rows[r][c]
+			if av.IsNull() != bv.IsNull() {
+				t.Fatalf("%s row %d col %d: null divergence", sql, r, c)
+			}
+			if av.IsNull() {
+				continue
+			}
+			if av.K != bv.K || av.I != bv.I || av.S != bv.S {
+				t.Fatalf("%s row %d col %d: %v vs %v", sql, r, c, av, bv)
+			}
+		}
+	}
+}
+
+// TestParallelSerialEquivalence runs the same workload through a serial
+// engine and a parallel engine with a deliberately tiny chunk size (so
+// every query spans many chunks) and requires identical results.
+func TestParallelSerialEquivalence(t *testing.T) {
+	serial := loadParallelFixture(t, Options{Parallelism: 1})
+	par := loadParallelFixture(t, Options{Parallelism: 8, ChunkSize: 17})
+	for _, sql := range parallelEquivalenceQueries {
+		sres, err := serial.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatalf("serial %s: %v", sql, err)
+		}
+		pres, err := par.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", sql, err)
+		}
+		resultsEqual(t, sql, sres, pres)
+	}
+}
+
+// TestParallelUpdateEquivalence checks the chunked UPDATE path (the shape
+// server-side key rotation uses) against the serial engine.
+func TestParallelUpdateEquivalence(t *testing.T) {
+	serial := loadParallelFixture(t, Options{Parallelism: 1})
+	par := loadParallelFixture(t, Options{Parallelism: 8, ChunkSize: 13})
+	update := `UPDATE p SET a = a * 2 + 1, b = b - a WHERE id % 3 = 0`
+	for _, e := range []*Engine{serial, par} {
+		res, err := e.ExecuteSQL(update)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].I; got != 1000 {
+			t.Fatalf("updated %d rows, want 1000", got)
+		}
+	}
+	check := `SELECT id, a, b FROM p ORDER BY id`
+	sres, err := serial.ExecuteSQL(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := par.ExecuteSQL(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, check, sres, pres)
+}
+
+// TestParallelErrorPropagation ensures an evaluation error inside a chunk
+// surfaces as a query error, not a panic or a partial result.
+func TestParallelErrorPropagation(t *testing.T) {
+	par := loadParallelFixture(t, Options{Parallelism: 4, ChunkSize: 11})
+	// Comparing a string column with an int forces a typed evaluation
+	// error on every row.
+	if _, err := par.ExecuteSQL(`SELECT id FROM p WHERE grp > 3`); err == nil {
+		t.Fatal("expected type error from parallel filter")
+	}
+}
+
+// TestParallelConcurrentQueries runs read-only statements from many
+// goroutines against one engine; with -race this is the proof that chunked
+// evaluation keeps shared state read-only.
+func TestParallelConcurrentQueries(t *testing.T) {
+	e := loadParallelFixture(t, Options{Parallelism: 4, ChunkSize: 64})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sql := parallelEquivalenceQueries[w%len(parallelEquivalenceQueries)]
+			for i := 0; i < 3; i++ {
+				res, err := e.ExecuteSQL(sql)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) == 0 && res.Rows != nil {
+					errs <- fmt.Errorf("%s: empty result", sql)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSetOptions flips one engine between serial and parallel execution
+// and checks both modes answer identically (the benchmark harness relies
+// on this).
+func TestSetOptions(t *testing.T) {
+	e := loadParallelFixture(t, Options{Parallelism: 1})
+	sql := `SELECT grp, SUM(a), COUNT(*) FROM p GROUP BY grp ORDER BY grp`
+	sres, err := e.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOptions(Options{Parallelism: 8, ChunkSize: 19})
+	pres, err := e.ExecuteSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, sql, sres, pres)
+}

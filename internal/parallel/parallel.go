@@ -1,0 +1,139 @@
+// Package parallel provides the bounded worker pool used by the engine and
+// the proxy to run chunked, data-parallel loops over row batches. The SDB
+// paper pushes secure query processing to the service provider precisely so
+// it can exploit cluster-scale parallelism (§2.2); this package is the
+// single-node analogue: the per-row modular arithmetic of the secure
+// operators is embarrassingly parallel, so row ranges are split into fixed
+// chunks and dispatched to GOMAXPROCS-bounded workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultChunkSize is the row-batch granularity: large enough that chunk
+// dispatch overhead vanishes against per-row big-integer work, small enough
+// to load-balance skewed chunks across workers.
+const DefaultChunkSize = 1024
+
+// Pool is a sizing policy for chunked loops. It holds no goroutines; each
+// ForEachChunk call spawns and joins its own bounded worker set, so a Pool
+// is safe for concurrent use and costless when idle.
+type Pool struct {
+	workers int
+	chunk   int
+}
+
+// New builds a pool. workers <= 0 means runtime.GOMAXPROCS(0); workers == 1
+// forces serial execution. chunk <= 0 means DefaultChunkSize.
+func New(workers, chunk int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	return &Pool{workers: workers, chunk: chunk}
+}
+
+// Workers returns the worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ChunkSize returns the chunk granularity.
+func (p *Pool) ChunkSize() int { return p.chunk }
+
+// NumChunks reports how many chunks ForEachChunk partitions [0, n) into —
+// size partial-result arrays with it and index them by fn's chunk number.
+func (p *Pool) NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.chunk - 1) / p.chunk
+}
+
+// ForEachChunk partitions [0, n) into contiguous chunks and invokes
+// fn(chunk, lo, hi) for each, concurrently on up to Workers goroutines.
+// chunk is the chunk's index in [0, NumChunks(n)) — callers accumulate
+// per-chunk partial results into a slice slot per chunk. Chunks are
+// disjoint, so fn may also write to per-row slots of a shared slice
+// without synchronisation. The first error stops the dispatch of further
+// chunks (in-flight chunks finish) and is returned.
+func (p *Pool) ForEachChunk(n int, fn func(chunk, lo, hi int) error) error {
+	chunks := p.NumChunks(n)
+	if chunks == 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	run := func(i int) error {
+		lo := i * p.chunk
+		hi := lo + p.chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(i, lo, hi)
+	}
+	if workers <= 1 {
+		for i := 0; i < chunks; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= chunks {
+					return
+				}
+				if err := run(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Map runs fn(i) for every i in [0, n), writing results into the returned
+// slice. It is ForEachChunk specialised to the per-index gather shape used
+// by projections and result decryption.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEachChunk(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

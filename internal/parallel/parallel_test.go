@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachChunkCoverage checks that every index is visited exactly once
+// across worker counts, chunk sizes and awkward boundaries.
+func TestForEachChunkCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		for _, chunk := range []int{1, 3, 7, 1024} {
+			for _, n := range []int{0, 1, 2, 7, 100, 1025} {
+				p := New(workers, chunk)
+				seen := make([]atomic.Int32, n)
+				chunksSeen := make([]atomic.Int32, p.NumChunks(n))
+				err := p.ForEachChunk(n, func(ci, lo, hi int) error {
+					if lo < 0 || hi > n || lo >= hi {
+						return fmt.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+					}
+					if ci < 0 || ci >= len(chunksSeen) || lo != ci*p.ChunkSize() {
+						return fmt.Errorf("chunk index %d inconsistent with lo=%d", ci, lo)
+					}
+					chunksSeen[ci].Add(1)
+					for i := lo; i < hi; i++ {
+						seen[i].Add(1)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("workers=%d chunk=%d n=%d: %v", workers, chunk, n, err)
+				}
+				for i := range seen {
+					if c := seen[i].Load(); c != 1 {
+						t.Fatalf("workers=%d chunk=%d n=%d: index %d visited %d times", workers, chunk, n, i, c)
+					}
+				}
+				for ci := range chunksSeen {
+					if c := chunksSeen[ci].Load(); c != 1 {
+						t.Fatalf("workers=%d chunk=%d n=%d: chunk %d dispatched %d times", workers, chunk, n, ci, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachChunkError checks that an error is surfaced and stops the
+// dispatch of further chunks.
+func TestForEachChunkError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		p := New(workers, 10)
+		var calls atomic.Int32
+		err := p.ForEachChunk(10_000, func(_, lo, hi int) error {
+			calls.Add(1)
+			if lo == 0 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// The first chunk fails immediately; only in-flight chunks (at most
+		// one per worker plus a dispatch race margin) may still run.
+		if c := calls.Load(); c > int32(workers*3) {
+			t.Fatalf("workers=%d: %d chunks ran after error", workers, c)
+		}
+	}
+}
+
+// TestMap checks the gather specialisation.
+func TestMap(t *testing.T) {
+	p := New(4, 8)
+	out, err := Map(p, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := Map(p, 100, func(i int) (int, error) {
+		if i == 50 {
+			return 0, errors.New("boom")
+		}
+		return 0, nil
+	}); err == nil {
+		t.Fatal("Map swallowed the error")
+	}
+}
+
+// TestForEachChunkSharedCounter runs under -race as the pool's parallelism
+// proof: concurrent chunks mutate disjoint slots plus one atomic total.
+func TestForEachChunkSharedCounter(t *testing.T) {
+	p := New(8, 16)
+	const n = 50_000
+	var total atomic.Int64
+	out := make([]int64, n)
+	if err := p.ForEachChunk(n, func(_, lo, hi int) error {
+		var local int64
+		for i := lo; i < hi; i++ {
+			out[i] = int64(i)
+			local += int64(i)
+		}
+		total.Add(local)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n) * (n - 1) / 2
+	if total.Load() != want {
+		t.Fatalf("total = %d, want %d", total.Load(), want)
+	}
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -6,118 +6,24 @@ import (
 	"sort"
 
 	"sdb/internal/engine"
+	"sdb/internal/parallel"
 	"sdb/internal/secure"
 	"sdb/internal/types"
 )
 
 // decryptResult turns an encrypted server result into plaintext per the
-// select plan, then applies deferred ordering and limits.
+// select plan, then applies deferred ordering and limits. Rows are
+// independent, so the per-row share decryptions (the dominant client-side
+// cost) run in parallel chunks on the proxy's pool.
 func (p *Proxy) decryptResult(srv *engine.Result, plan *selectPlan) (*Result, error) {
 	if len(srv.Columns) != len(plan.out) {
 		return nil, fmt.Errorf("proxy: server returned %d columns, plan expects %d", len(srv.Columns), len(plan.out))
 	}
-	// Cache decrypted row ids per (alias, row index).
-	ridCache := make(map[string]secure.RowID)
-
-	rows := make([]types.Row, len(srv.Rows))
-	for i, srvRow := range srv.Rows {
-		row := make(types.Row, len(plan.out))
-		for c := range plan.out {
-			oc := &plan.out[c]
-			v := srvRow[c]
-			switch oc.mode {
-			case omPlain:
-				row[c] = v
-
-			case omFlat:
-				if v.IsNull() {
-					row[c] = types.Null
-					continue
-				}
-				if v.K != types.KindShare {
-					return nil, fmt.Errorf("proxy: column %q: expected share, got %s", oc.name, v.K)
-				}
-				d, err := p.secret.DecryptFlat(v.B, oc.flatKey)
-				if err != nil {
-					return nil, err
-				}
-				pv, err := toValue(d, oc.kind)
-				if err != nil {
-					return nil, fmt.Errorf("proxy: column %q: %w", oc.name, err)
-				}
-				row[c] = pv
-
-			case omRowKey:
-				if v.IsNull() {
-					row[c] = types.Null
-					continue
-				}
-				if v.K != types.KindShare {
-					return nil, fmt.Errorf("proxy: column %q: expected share, got %s", oc.name, v.K)
-				}
-				vk := big.NewInt(1)
-				for _, f := range oc.factors {
-					var rid secure.RowID
-					if f.alias == "" {
-						// Flat factor inside a product: contributes m only.
-						vk.Mul(vk, f.key.M)
-						vk.Mod(vk, p.secret.N())
-						continue
-					}
-					ridIdx, ok := oc.ridCols[f.alias]
-					if !ok || ridIdx < 0 {
-						return nil, fmt.Errorf("proxy: missing row-id column for alias %q", f.alias)
-					}
-					cacheKey := fmt.Sprintf("%s|%d", f.alias, i)
-					if cached, ok := ridCache[cacheKey]; ok {
-						rid = cached
-					} else {
-						packed := srvRow[ridIdx]
-						if packed.K != types.KindShare {
-							return nil, fmt.Errorf("proxy: row-id column for %q is not a share", f.alias)
-						}
-						var err error
-						rid, err = p.decryptRowID(packed.B)
-						if err != nil {
-							return nil, err
-						}
-						ridCache[cacheKey] = rid
-					}
-					ik := p.secret.ItemKey(rid, f.key)
-					vk.Mul(vk, ik)
-					vk.Mod(vk, p.secret.N())
-				}
-				plain := p.secret.Domain().Decode(new(big.Int).Mod(new(big.Int).Mul(v.B, vk), p.secret.N()))
-				pv, err := toValue(plain, oc.kind)
-				if err != nil {
-					return nil, fmt.Errorf("proxy: column %q: %w", oc.name, err)
-				}
-				row[c] = pv
-
-			case omAvg:
-				if v.IsNull() {
-					row[c] = types.Null
-					continue
-				}
-				sum, err := p.secret.DecryptFlat(v.B, oc.flatKey)
-				if err != nil {
-					return nil, err
-				}
-				cnt := srvRow[oc.cntIdx]
-				if cnt.IsNull() || cnt.I == 0 {
-					row[c] = types.Null
-					continue
-				}
-				// Two extra decimal digits of precision for the mean.
-				q := new(big.Int).Mul(sum, big.NewInt(100))
-				q.Quo(q, big.NewInt(cnt.I))
-				if !q.IsInt64() {
-					return nil, fmt.Errorf("proxy: AVG overflow in column %q", oc.name)
-				}
-				row[c] = types.Value{K: types.KindDecimal, I: q.Int64()}
-			}
-		}
-		rows[i] = row
+	rows, err := parallel.Map(p.pool, len(srv.Rows), func(i int) (types.Row, error) {
+		return p.decryptRow(srv.Rows[i], plan)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Deferred ORDER BY (encrypted sort keys are plaintext now).
@@ -160,6 +66,112 @@ func (p *Proxy) decryptResult(srv *engine.Result, plan *selectPlan) (*Result, er
 		res.Rows = append(res.Rows, out)
 	}
 	return res, nil
+}
+
+// decryptRow decrypts one server row per the plan's output modes. It is
+// called concurrently by decryptResult's chunks; everything it touches on
+// the proxy (scheme secret, SIES cipher, key store entries) is read-only
+// during query execution.
+func (p *Proxy) decryptRow(srvRow types.Row, plan *selectPlan) (types.Row, error) {
+	// Decrypted row ids are cached per alias: several output columns of
+	// one row may share a join side's row id.
+	ridCache := make(map[string]secure.RowID)
+	row := make(types.Row, len(plan.out))
+	for c := range plan.out {
+		oc := &plan.out[c]
+		v := srvRow[c]
+		switch oc.mode {
+		case omPlain:
+			row[c] = v
+
+		case omFlat:
+			if v.IsNull() {
+				row[c] = types.Null
+				continue
+			}
+			if v.K != types.KindShare {
+				return nil, fmt.Errorf("proxy: column %q: expected share, got %s", oc.name, v.K)
+			}
+			d, err := p.secret.DecryptFlat(v.B, oc.flatKey)
+			if err != nil {
+				return nil, err
+			}
+			pv, err := toValue(d, oc.kind)
+			if err != nil {
+				return nil, fmt.Errorf("proxy: column %q: %w", oc.name, err)
+			}
+			row[c] = pv
+
+		case omRowKey:
+			if v.IsNull() {
+				row[c] = types.Null
+				continue
+			}
+			if v.K != types.KindShare {
+				return nil, fmt.Errorf("proxy: column %q: expected share, got %s", oc.name, v.K)
+			}
+			vk := big.NewInt(1)
+			for _, f := range oc.factors {
+				var rid secure.RowID
+				if f.alias == "" {
+					// Flat factor inside a product: contributes m only.
+					vk.Mul(vk, f.key.M)
+					vk.Mod(vk, p.secret.N())
+					continue
+				}
+				ridIdx, ok := oc.ridCols[f.alias]
+				if !ok || ridIdx < 0 {
+					return nil, fmt.Errorf("proxy: missing row-id column for alias %q", f.alias)
+				}
+				if cached, ok := ridCache[f.alias]; ok {
+					rid = cached
+				} else {
+					packed := srvRow[ridIdx]
+					if packed.K != types.KindShare {
+						return nil, fmt.Errorf("proxy: row-id column for %q is not a share", f.alias)
+					}
+					var err error
+					rid, err = p.decryptRowID(packed.B)
+					if err != nil {
+						return nil, err
+					}
+					ridCache[f.alias] = rid
+				}
+				ik := p.secret.ItemKey(rid, f.key)
+				vk.Mul(vk, ik)
+				vk.Mod(vk, p.secret.N())
+			}
+			plain := p.secret.Domain().Decode(new(big.Int).Mod(new(big.Int).Mul(v.B, vk), p.secret.N()))
+			pv, err := toValue(plain, oc.kind)
+			if err != nil {
+				return nil, fmt.Errorf("proxy: column %q: %w", oc.name, err)
+			}
+			row[c] = pv
+
+		case omAvg:
+			if v.IsNull() {
+				row[c] = types.Null
+				continue
+			}
+			sum, err := p.secret.DecryptFlat(v.B, oc.flatKey)
+			if err != nil {
+				return nil, err
+			}
+			cnt := srvRow[oc.cntIdx]
+			if cnt.IsNull() || cnt.I == 0 {
+				row[c] = types.Null
+				continue
+			}
+			// Two extra decimal digits of precision for the mean.
+			q := new(big.Int).Mul(sum, big.NewInt(100))
+			q.Quo(q, big.NewInt(cnt.I))
+			if !q.IsInt64() {
+				return nil, fmt.Errorf("proxy: AVG overflow in column %q", oc.name)
+			}
+			row[c] = types.Value{K: types.KindDecimal, I: q.Int64()}
+		}
+	}
+	return row, nil
 }
 
 // toValue converts a decrypted big integer into a typed value.

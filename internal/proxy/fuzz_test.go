@@ -3,12 +3,130 @@ package proxy
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"sdb/internal/engine"
 	"sdb/internal/secure"
+	"sdb/internal/sqlparser"
 	"sdb/internal/storage"
+	"sdb/internal/tpch"
 )
+
+// fuzzDeployment is a shared secure + plaintext TPC-H pair for FuzzExecSelect
+// (built once; fuzz bodies must not mutate it, which is why the target only
+// executes SELECTs).
+type fuzzDeployment struct {
+	sdb   *Proxy
+	plain *Proxy
+}
+
+var (
+	fuzzDepOnce sync.Once
+	fuzzDep     *fuzzDeployment
+	fuzzDepErr  error
+)
+
+func getFuzzDeployment() (*fuzzDeployment, error) {
+	fuzzDepOnce.Do(func() {
+		secret, err := secure.Setup(384, 62, 80)
+		if err != nil {
+			fuzzDepErr = err
+			return
+		}
+		sdb, err := New(secret, engine.New(storage.NewCatalog(), secret.N()))
+		if err != nil {
+			fuzzDepErr = err
+			return
+		}
+		plain, err := New(secret, engine.New(storage.NewCatalog(), nil))
+		if err != nil {
+			fuzzDepErr = err
+			return
+		}
+		for _, ddl := range tpch.CreateStatements() {
+			if _, err := sdb.Exec(ddl); err != nil {
+				fuzzDepErr = err
+				return
+			}
+			stmt, _ := sqlparser.Parse(ddl)
+			ct := stmt.(*sqlparser.CreateTable)
+			for i := range ct.Cols {
+				ct.Cols[i].Type.Sensitive = false
+			}
+			if _, err := plain.Exec(ct.String()); err != nil {
+				fuzzDepErr = err
+				return
+			}
+		}
+		fuzzDepErr = tpch.Generate(tpch.Config{ScaleFactor: 0.0001, Seed: 3}, func(sql string) error {
+			if _, err := sdb.Exec(sql); err != nil {
+				return err
+			}
+			_, err := plain.Exec(sql)
+			return err
+		})
+		fuzzDep = &fuzzDeployment{sdb: sdb, plain: plain}
+	})
+	return fuzzDep, fuzzDepErr
+}
+
+// FuzzExecSelect feeds SQL through the full SDB pipeline (rewrite → secure
+// execution → decrypt) and through a plaintext deployment over the same
+// TPC-H data. It must never panic, and whenever both deployments accept a
+// SELECT, the decrypted results must match — the paper's correctness claim
+// under adversarial query shapes. The corpus seeds every TPC-H query plus
+// tricky expression and literal shapes.
+func FuzzExecSelect(f *testing.F) {
+	for _, q := range tpch.Queries() {
+		f.Add(q.SQL)
+	}
+	for _, s := range []string{
+		`SELECT l_orderkey, l_extendedprice * (1 - l_discount) FROM lineitem WHERE l_quantity < 24`,
+		`SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE l_discount BETWEEN 0.05 AND 0.07`,
+		`SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority`,
+		`SELECT CASE WHEN l_quantity > 25 THEN -l_quantity ELSE l_quantity + 1 END FROM lineitem LIMIT 5`,
+		`SELECT c_name || '-' || 'x', length(c_name) FROM customer WHERE c_name LIKE 'Customer%'`,
+		`SELECT DISTINCT l_returnflag FROM lineitem ORDER BY l_returnflag DESC`,
+		`SELECT l_quantity FROM lineitem WHERE l_quantity IN (1, 2, 3) OR l_quantity IS NULL`,
+		`SELECT 'it''s', 0x2a, -0x1f, year(l_shipdate) FROM lineitem LIMIT 1`,
+		`SELECT t.a FROM (SELECT l_orderkey AS a FROM lineitem) AS t WHERE t.a > 0 LIMIT 3`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		dep, err := getFuzzDeployment()
+		if err != nil {
+			t.Skip("deployment unavailable:", err)
+		}
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			return
+		}
+		if _, ok := stmt.(*sqlparser.Select); !ok {
+			return // writes would diverge the shared deployments
+		}
+		encRes, encErr := dep.sdb.Exec(sql)
+		plainRes, plainErr := dep.plain.Exec(sql)
+		if encErr != nil || plainErr != nil {
+			return // acceptance divergence is allowed; divergent answers are not
+		}
+		if len(encRes.Rows) != len(plainRes.Rows) {
+			t.Fatalf("query %q: %d vs %d rows", sql, len(encRes.Rows), len(plainRes.Rows))
+		}
+		for r := range encRes.Rows {
+			for c := range encRes.Rows[r] {
+				ev, pv := encRes.Rows[r][c], plainRes.Rows[r][c]
+				if ev.IsNull() != pv.IsNull() {
+					t.Fatalf("query %q row %d col %d: null divergence", sql, r, c)
+				}
+				if !ev.IsNull() && (ev.S != pv.S || ev.I != pv.I) {
+					t.Fatalf("query %q row %d col %d: %v vs %v", sql, r, c, ev, pv)
+				}
+			}
+		}
+	})
+}
 
 // TestRewriterDifferentialFuzz generates random queries over a table with
 // both sensitive and plain columns and checks that the full SDB pipeline

@@ -9,6 +9,7 @@ import (
 
 	"sdb/internal/bigmod"
 	"sdb/internal/engine"
+	"sdb/internal/parallel"
 	"sdb/internal/secure"
 	"sdb/internal/sies"
 	"sdb/internal/sqlparser"
@@ -30,14 +31,33 @@ type Proxy struct {
 	store  *KeyStore
 	exec   Executor
 	nonce  atomic.Uint64
+	// pool dispatches the per-row result decryption loop to bounded
+	// workers (each row's share decryptions are independent).
+	pool *parallel.Pool
+}
+
+// Options tune the proxy's chunked parallel decryption.
+type Options struct {
+	// Parallelism bounds the worker goroutines for result decryption.
+	// <= 0 means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	Parallelism int
+	// ChunkSize is the number of result rows per dispatched chunk. <= 0
+	// means parallel.DefaultChunkSize (1024).
+	ChunkSize int
 }
 
 // rowIDBits bounds row ids to [1, 2^rowIDBits); the SIES modulus is
 // 2^rowIDBits and the encrypted row id is packed as cipher<<64 | nonce.
 const rowIDBits = 62
 
-// New creates a proxy over the given scheme secret and executor.
+// New creates a proxy over the given scheme secret and executor with
+// default (GOMAXPROCS-wide) parallelism.
 func New(secret *secure.Secret, exec Executor) (*Proxy, error) {
+	return NewWithOptions(secret, exec, Options{})
+}
+
+// NewWithOptions is New with explicit execution options.
+func NewWithOptions(secret *secure.Secret, exec Executor, opts Options) (*Proxy, error) {
 	key, err := sies.GenerateKey()
 	if err != nil {
 		return nil, err
@@ -47,7 +67,19 @@ func New(secret *secure.Secret, exec Executor) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Proxy{secret: secret, cipher: cipher, store: NewKeyStore(), exec: exec}, nil
+	return &Proxy{
+		secret: secret,
+		cipher: cipher,
+		store:  NewKeyStore(),
+		exec:   exec,
+		pool:   parallel.New(opts.Parallelism, opts.ChunkSize),
+	}, nil
+}
+
+// SetOptions replaces the execution options. It must not be called
+// concurrently with running statements.
+func (p *Proxy) SetOptions(opts Options) {
+	p.pool = parallel.New(opts.Parallelism, opts.ChunkSize)
 }
 
 // Secret exposes the scheme secret (examples and tests need the params).

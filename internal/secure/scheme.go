@@ -27,7 +27,7 @@ func (s *Secret) NewRowID() (RowID, error) {
 // SP. Tokens instruct the SP to raise w to secret-derived exponents; since
 // vk = m·w^x, the helper lets the SP re-key shares without knowing g.
 func (s *Secret) RowHelper(r RowID) *big.Int {
-	return bigmod.Exp(s.g, r.R, s.params.N)
+	return bigmod.ExpCached(s.g, r.R, s.params.N)
 }
 
 // ItemKey implements gen(r, ⟨m,x⟩) = m · g^(r·x mod φ(n)) mod n (Def. 1).
@@ -35,7 +35,9 @@ func (s *Secret) RowHelper(r RowID) *big.Int {
 func (s *Secret) ItemKey(r RowID, ck ColumnKey) *big.Int {
 	e := new(big.Int).Mul(r.R, ck.X)
 	e.Mod(e, s.phi)
-	ik := bigmod.Exp(s.g, e, s.params.N)
+	// g is the hottest fixed base in the system: every encrypt and decrypt
+	// derives an item key from it.
+	ik := bigmod.ExpCached(s.g, e, s.params.N)
 	return bigmod.Mul(ck.M, ik, s.params.N)
 }
 

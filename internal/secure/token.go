@@ -107,9 +107,12 @@ func (s *Secret) ConstShareToken(c *big.Int, ck ColumnKey) (Token, error) {
 
 // ApplyToken is the SP-side UDF: out = P·ve·w^Q mod n (or P·w^Q for
 // constant-share tokens). It uses only public material — the token, the
-// stored share and the stored row helper.
+// stored share and the stored row helper. The w^Q exponentiation goes
+// through the fixed-base cache: a row helper touched by several tokens in
+// one query, or re-touched across queries and rotations, stops paying full
+// square-and-multiply.
 func ApplyToken(t Token, ve, w, n *big.Int) *big.Int {
-	out := bigmod.Exp(w, t.Q, n)
+	out := bigmod.ExpCached(w, t.Q, n)
 	out = bigmod.Mul(out, t.P, n)
 	if !t.Base {
 		out = bigmod.Mul(out, ve, n)

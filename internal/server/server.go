@@ -28,8 +28,14 @@ type Server struct {
 
 // New builds a server over a fresh catalog with the public modulus n.
 func New(n *big.Int) *Server {
+	return NewWithOptions(n, engine.Options{})
+}
+
+// NewWithOptions is New with explicit engine execution options (chunked
+// parallel secure-operator evaluation).
+func NewWithOptions(n *big.Int, opts engine.Options) *Server {
 	return &Server{
-		eng:   engine.New(storage.NewCatalog(), n),
+		eng:   engine.NewWithOptions(storage.NewCatalog(), n, opts),
 		conns: make(map[net.Conn]struct{}),
 	}
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: static checks, the full test suite, and the race detector over
+# every package (the chunked parallel engine/proxy paths and the bigmod
+# fixed-base cache are exercised by dedicated concurrency tests).
+#
+# Usage: scripts/ci.sh [-short]
+#   -short   skip the slow end-to-end suites (integration differential,
+#            rewriter differential fuzz) — useful for pre-commit runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHORT_FLAG=""
+if [[ "${1:-}" == "-short" ]]; then
+  SHORT_FLAG="-short"
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ${SHORT_FLAG} ./...
+
+echo "== go test -race"
+go test -race ${SHORT_FLAG} ./...
+
+echo "CI OK"
