@@ -10,7 +10,9 @@
 package sdb
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math/big"
 	"strings"
 	"sync"
@@ -342,12 +344,16 @@ func e2eSetup(b *testing.B) *e2eFixture {
 // TPC-H queries through SDB versus the plaintext engine. The ratio is the
 // price of encrypted processing. The sdb-serial/sdb-parallel pair isolates
 // the chunked worker-pool win on the same deployment (expect ≥ 2x on a
-// multi-core runner; identical on one core).
+// multi-core runner; identical on one core). The stream variant runs the
+// prepared-statement cursor path: the rewrite is amortized across
+// iterations and rows flow through batch-bounded memory; allocs/op versus
+// the materialized variants shows the streaming win.
 func BenchmarkTPCHQueries(b *testing.B) {
 	f := e2eSetup(b)
 	defer f.setMode(0)
 	run := func(name string, p *proxy.Proxy, sql string) {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			rows := 0
 			for i := 0; i < b.N; i++ {
 				res, err := p.Exec(sql)
@@ -359,14 +365,110 @@ func BenchmarkTPCHQueries(b *testing.B) {
 			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
+	runStream := func(name string, p *proxy.Proxy, sql string) {
+		b.Run(name, func(b *testing.B) {
+			stmt, err := p.Prepare(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer stmt.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				cur, err := stmt.QueryContext(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					if _, err := cur.Next(); err == io.EOF {
+						break
+					} else if err != nil {
+						b.Fatal(err)
+					}
+					n++
+				}
+				cur.Close()
+				rows = n
+			}
+			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
 	for _, q := range tpch.RunnableQueries() {
 		q := q
 		f.setMode(1)
 		run(fmt.Sprintf("Q%d/sdb-serial", q.Num), f.sdb, q.SQL)
 		f.setMode(0)
 		run(fmt.Sprintf("Q%d/sdb-parallel", q.Num), f.sdb, q.SQL)
+		runStream(fmt.Sprintf("Q%d/sdb-stream", q.Num), f.sdb, q.SQL)
 		run(fmt.Sprintf("Q%d/plain", q.Num), f.plain, q.SQL)
 	}
+}
+
+// BenchmarkStreamScan is the memory claim behind the streaming redesign: a
+// large scan through the materialized path holds the whole decrypted
+// result at once (peak-rows == result size), while the streaming cursor
+// holds one decrypted batch (peak-rows == pool chunk × workers, asserted).
+// Fixed pool geometry (4 × 256 = 1024-row batches) keeps the bound
+// machine-independent; compare allocated B/op between the two variants.
+func BenchmarkStreamScan(b *testing.B) {
+	f := e2eSetup(b)
+	const batchBound = 4 * 256
+	setGeom := func() {
+		f.sdbEng.SetOptions(engine.Options{Parallelism: 4, ChunkSize: 256})
+		f.sdb.SetOptions(proxy.Options{Parallelism: 4, ChunkSize: 256})
+	}
+	setGeom()
+	defer f.setMode(0)
+	const sql = `SELECT l_orderkey, l_quantity, l_extendedprice FROM lineitem`
+
+	b.Run("materialized", func(b *testing.B) {
+		f.sdb.SetOptions(proxy.Options{Parallelism: 4, ChunkSize: 256, DisableStream: true})
+		defer setGeom()
+		b.ReportAllocs()
+		peak := 0
+		for i := 0; i < b.N; i++ {
+			res, err := f.sdb.Exec(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			peak = len(res.Rows)
+		}
+		b.ReportMetric(float64(peak), "peak-rows")
+		b.ReportMetric(float64(peak*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		peak, total := 0, 0
+		for i := 0; i < b.N; i++ {
+			cur, err := f.sdb.QueryContext(context.Background(), sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = 0
+			for {
+				batch, err := cur.NextBatch()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(batch) > peak {
+					peak = len(batch)
+				}
+				total += len(batch)
+			}
+			cur.Close()
+		}
+		if peak > batchBound {
+			b.Fatalf("streamed batch of %d rows exceeds the %d-row pool bound", peak, batchBound)
+		}
+		b.ReportMetric(float64(peak), "peak-rows")
+		b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
 }
 
 // BenchmarkClientServerBreakdown is experiment E3: the demo's step-2 claim

@@ -12,11 +12,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"sdb/internal/engine"
@@ -114,7 +117,7 @@ func shell(args []string) {
 		log.Fatalf("sdb shell: %v", err)
 	}
 
-	fmt.Println("SDB proxy shell — end statements with ';', exit with \\q")
+	fmt.Println("SDB proxy shell — end statements with ';', exit with \\q (ctrl-C cancels a running query)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -139,39 +142,73 @@ func shell(args []string) {
 	}
 }
 
+// run prepares and executes one statement through the streaming API:
+// SELECT rows print as their decrypted batches arrive instead of after the
+// whole result lands, and ctrl-C cancels between batches.
 func run(p *proxy.Proxy, sql string, showRewrite bool) {
-	res, err := p.Exec(sql)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	stmt, err := p.PrepareContext(ctx, sql)
 	if err != nil {
 		fmt.Printf("error: %v\n", err)
 		return
 	}
-	if showRewrite && res.Stats.RewrittenSQL != "" {
-		fmt.Printf("-- rewritten: %s\n", truncate(res.Stats.RewrittenSQL, 400))
-	}
-	printResult(res)
-	st := res.Stats
-	fmt.Printf("-- client %v (parse %v, rewrite %v, decrypt %v) | server %v | total %v\n",
-		st.Client(), st.Parse, st.Rewrite, st.Decrypt, st.Server, st.Total())
-}
+	defer stmt.Close()
 
-func printResult(res *proxy.Result) {
-	if len(res.Columns) == 0 {
+	if !stmt.IsQuery() {
+		res, err := stmt.ExecContext(ctx)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		if showRewrite && res.Stats.RewrittenSQL != "" {
+			fmt.Printf("-- rewritten: %s\n", truncate(res.Stats.RewrittenSQL, 400))
+		}
 		fmt.Println("ok")
+		printStats(res.Stats)
 		return
 	}
-	names := make([]string, len(res.Columns))
-	for i, c := range res.Columns {
+
+	rows, err := stmt.QueryContext(ctx)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	defer rows.Close()
+	if showRewrite {
+		fmt.Printf("-- rewritten: %s\n", truncate(rows.Stats().RewrittenSQL, 400))
+	}
+	cols := rows.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
 		names[i] = c.Name
 	}
 	fmt.Println(strings.Join(names, " | "))
-	for _, row := range res.Rows {
+	n := 0
+	for {
+		row, err := rows.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
 		cells := make([]string, len(row))
 		for i, v := range row {
-			cells[i] = render(v, res.Columns[i])
+			cells[i] = render(v, cols[i])
 		}
 		fmt.Println(strings.Join(cells, " | "))
+		n++
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
+	fmt.Printf("(%d rows)\n", n)
+	printStats(rows.Stats())
+}
+
+func printStats(st proxy.Stats) {
+	fmt.Printf("-- client %v (parse %v, rewrite %v, decrypt %v) | server %v | total %v\n",
+		st.Client(), st.Parse, st.Rewrite, st.Decrypt, st.Server, st.Total())
 }
 
 func render(v types.Value, col proxy.Column) string {

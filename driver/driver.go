@@ -1,0 +1,350 @@
+// Package driver registers an "sdb" driver with database/sql, so standard
+// Go applications can run encrypted queries through the SDB proxy without
+// knowing anything about shares, tokens or key stores.
+//
+// Two DSN forms are supported:
+//
+//	mem://?bits=512&parallel=0&chunk=0
+//	    An embedded deployment: fresh scheme secrets and an in-process
+//	    service-provider engine. Handy for tests and the quickstart.
+//
+//	tcp://host:port?secret=do.key&parallel=0&chunk=0
+//	    Connect to a remote sdb-server. secret names the data-owner key
+//	    file written by `sdb keygen`; it never leaves the client.
+//
+// All connections of one sql.DB share a single proxy (and therefore one
+// key store): the proxy is the data owner's trust boundary, so pooled
+// connections are views onto the same session state. Use OpenDB to wrap an
+// already-configured *proxy.Proxy instead of a DSN.
+//
+// Placeholder parameters are not supported yet; statements must be
+// self-contained SQL. Transactions are not supported (SDB has no
+// multi-statement atomicity).
+package driver
+
+import (
+	"context"
+	"database/sql"
+	sqldriver "database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"strconv"
+	"sync"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/server"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+func init() {
+	sql.Register("sdb", &Driver{})
+}
+
+// Driver implements database/sql/driver.Driver and DriverContext.
+type Driver struct{}
+
+// Open connects with a fresh connector (used when database/sql is handed a
+// bare driver; pooled DBs go through OpenConnector once).
+func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector parses the DSN once; database/sql calls it a single time
+// per sql.Open, so every pooled connection shares the connector's proxy.
+func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	u, err := url.Parse(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("sdb: bad DSN %q: %w", dsn, err)
+	}
+	switch u.Scheme {
+	case "mem", "tcp":
+	default:
+		return nil, fmt.Errorf("sdb: unsupported DSN scheme %q (want mem:// or tcp://)", u.Scheme)
+	}
+	return &Connector{drv: d, url: u}, nil
+}
+
+// Connector builds the shared proxy lazily on first Connect.
+type Connector struct {
+	drv *Driver
+	url *url.URL
+
+	mu     sync.Mutex
+	p      *proxy.Proxy
+	client *server.Client // non-nil for tcp://, closed with the pool
+}
+
+// OpenDB wraps an existing proxy (sharing its key store and executor) in a
+// database/sql pool.
+func OpenDB(p *proxy.Proxy) *sql.DB {
+	return sql.OpenDB(&Connector{drv: &Driver{}, p: p})
+}
+
+// Driver implements driver.Connector.
+func (c *Connector) Driver() sqldriver.Driver { return c.drv }
+
+// Connect returns a new connection over the shared proxy.
+func (c *Connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := c.proxy()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{p: p}, nil
+}
+
+// Close releases the connector's network client, if any. database/sql
+// calls it from DB.Close.
+func (c *Connector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.client != nil {
+		err := c.client.Close()
+		c.client = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Connector) proxy() (*proxy.Proxy, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.p != nil {
+		return c.p, nil
+	}
+	q := c.url.Query()
+	opts := proxy.Options{
+		Parallelism: atoiDefault(q.Get("parallel"), 0),
+		ChunkSize:   atoiDefault(q.Get("chunk"), 0),
+	}
+	switch c.url.Scheme {
+	case "mem":
+		bits := atoiDefault(q.Get("bits"), 512)
+		secret, err := secure.Setup(bits, secure.DefaultValueBits, secure.DefaultMaskBits)
+		if err != nil {
+			return nil, fmt.Errorf("sdb: setup: %w", err)
+		}
+		eng := engine.NewWithOptions(storage.NewCatalog(), secret.N(),
+			engine.Options{Parallelism: opts.Parallelism, ChunkSize: opts.ChunkSize})
+		p, err := proxy.NewWithOptions(secret, eng, opts)
+		if err != nil {
+			return nil, err
+		}
+		c.p = p
+	case "tcp":
+		secretPath := q.Get("secret")
+		if secretPath == "" {
+			return nil, errors.New("sdb: tcp:// DSN requires ?secret=<do.key> (from 'sdb keygen')")
+		}
+		data, err := os.ReadFile(secretPath)
+		if err != nil {
+			return nil, fmt.Errorf("sdb: read secret: %w", err)
+		}
+		secret, err := secure.UnmarshalSecret(data)
+		if err != nil {
+			return nil, fmt.Errorf("sdb: parse secret: %w", err)
+		}
+		client, err := server.Dial(c.url.Host)
+		if err != nil {
+			return nil, err
+		}
+		p, err := proxy.NewWithOptions(secret, client, opts)
+		if err != nil {
+			client.Close()
+			return nil, err
+		}
+		c.client = client
+		c.p = p
+	}
+	return c.p, nil
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// conn is one database/sql connection: a view onto the shared proxy.
+type conn struct {
+	p      *proxy.Proxy
+	closed bool
+}
+
+func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt, error) {
+	if c.closed {
+		return nil, sqldriver.ErrBadConn
+	}
+	ps, err := c.p.PrepareContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{ps: ps}, nil
+}
+
+func (c *conn) Close() error {
+	c.closed = true
+	return nil
+}
+
+func (c *conn) Begin() (sqldriver.Tx, error) {
+	return nil, errors.New("sdb: transactions are not supported")
+}
+
+// QueryContext lets database/sql skip the prepared-statement dance for
+// one-shot queries.
+func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	if len(args) > 0 {
+		return nil, errors.New("sdb: placeholder arguments are not supported")
+	}
+	r, err := c.p.QueryContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{r: r, cols: r.Columns()}, nil
+}
+
+// ExecContext executes one-shot statements.
+func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	if len(args) > 0 {
+		return nil, errors.New("sdb: placeholder arguments are not supported")
+	}
+	res, err := c.p.ExecContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return result{res: res}, nil
+}
+
+// stmt adapts proxy.Stmt to database/sql/driver.
+type stmt struct {
+	ps *proxy.Stmt
+}
+
+func (s *stmt) Close() error { return s.ps.Close() }
+
+// NumInput is 0: placeholder arguments are not supported, and database/sql
+// enforces the zero-argument contract for us.
+func (s *stmt) NumInput() int { return 0 }
+
+func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
+	return s.ExecContext(context.Background(), nil)
+}
+
+func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
+	return s.QueryContext(context.Background(), nil)
+}
+
+func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	res, err := s.ps.ExecContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return result{res: res}, nil
+}
+
+func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	r, err := s.ps.QueryContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{r: r, cols: r.Columns()}, nil
+}
+
+// rows adapts the proxy's decrypting cursor to database/sql/driver.Rows;
+// rows stream through batch by batch, so scanning a huge result holds one
+// decrypted batch at a time.
+type rows struct {
+	r    *proxy.Rows
+	cols []proxy.Column
+}
+
+func (r *rows) Columns() []string {
+	names := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+func (r *rows) Close() error { return r.r.Close() }
+
+func (r *rows) Next(dest []sqldriver.Value) error {
+	row, err := r.r.Next()
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return err
+	}
+	for i, v := range row {
+		dest[i] = toDriverValue(v, r.cols[i])
+	}
+	return nil
+}
+
+// toDriverValue maps a decrypted SDB value onto the driver.Value domain.
+// Decimals keep their exact scaled representation by formatting to a
+// string ("123.45"); database/sql converts that into float64 or string
+// scan targets. Dates render as "YYYY-MM-DD".
+func toDriverValue(v types.Value, col proxy.Column) sqldriver.Value {
+	switch v.K {
+	case types.KindNull:
+		return nil
+	case types.KindInt:
+		if col.Scale > 0 {
+			return types.FormatDecimal(v.I, col.Scale)
+		}
+		return v.I
+	case types.KindDecimal:
+		return types.FormatDecimal(v.I, col.Scale)
+	case types.KindDate:
+		return types.FormatDate(v)
+	case types.KindString:
+		return v.S
+	case types.KindBool:
+		return v.I != 0
+	case types.KindShare:
+		return v.B.Bytes()
+	default:
+		return v.String()
+	}
+}
+
+// result reports statement outcomes. SDB has no auto-increment ids, and
+// only engine UPDATEs report affected rows.
+type result struct {
+	res *proxy.Result
+}
+
+func (r result) LastInsertId() (int64, error) {
+	return 0, errors.New("sdb: LastInsertId is not supported")
+}
+
+func (r result) RowsAffected() (int64, error) {
+	if len(r.res.Columns) == 1 && r.res.Columns[0].Name == "updated" && len(r.res.Rows) == 1 {
+		return r.res.Rows[0][0].I, nil
+	}
+	return 0, nil
+}

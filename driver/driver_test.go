@@ -1,0 +1,247 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/server"
+	"sdb/internal/storage"
+)
+
+// quickstartRoundTrip drives the README quickstart through database/sql:
+// schema with a sensitive column, inserts, an encrypted filter, and an
+// encrypted aggregate.
+func quickstartRoundTrip(t *testing.T, db *sql.DB) {
+	t.Helper()
+	if _, err := db.Exec(`CREATE TABLE staff (id INT, name STRING, team STRING, salary INT SENSITIVE)`); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := db.Exec(`INSERT INTO staff VALUES
+		(1, 'alice', 'eng',   120000),
+		(2, 'bob',   'eng',   110000),
+		(3, 'carol', 'sales',  95000),
+		(4, 'dave',  'sales',  99000),
+		(5, 'erin',  'hr',     90000)`); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+
+	rows, err := db.Query(`SELECT name, salary FROM staff WHERE salary > 100000 ORDER BY name`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	defer rows.Close()
+	var names []string
+	for rows.Next() {
+		var name string
+		var salary int64
+		if err := rows.Scan(&name, &salary); err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if salary <= 100000 {
+			t.Errorf("filter leaked %s with salary %d", name, salary)
+		}
+		names = append(names, name)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alice" || names[1] != "bob" {
+		t.Errorf("names = %v, want [alice bob]", names)
+	}
+
+	var total int64
+	if err := db.QueryRow(`SELECT SUM(salary) FROM staff`).Scan(&total); err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	if total != 514000 {
+		t.Errorf("SUM(salary) = %d, want 514000", total)
+	}
+
+	// Prepared statement reuse: the rewrite (and its token derivations)
+	// happens once, execution twice.
+	stmt, err := db.Prepare(`SELECT COUNT(*) FROM staff WHERE salary > 95000`)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 2; i++ {
+		var n int64
+		if err := stmt.QueryRow().Scan(&n); err != nil {
+			t.Fatalf("prepared exec %d: %v", i, err)
+		}
+		if n != 3 {
+			t.Errorf("count = %d, want 3", n)
+		}
+	}
+}
+
+// TestQuickstartMemDSN runs the quickstart against the embedded mem:// DSN.
+func TestQuickstartMemDSN(t *testing.T) {
+	db, err := sql.Open("sdb", "mem://?bits=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	quickstartRoundTrip(t, db)
+}
+
+// TestQuickstartOverTCP runs the quickstart against a real server via
+// OpenDB over a network proxy, covering the streamed wire path end to end.
+func TestQuickstartOverTCP(t *testing.T) {
+	secret, err := secure.Setup(256, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(secret.N())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	client, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	p, err := proxy.New(secret, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := OpenDB(p)
+	defer db.Close()
+	quickstartRoundTrip(t, db)
+}
+
+// TestDriverRejectsArgs pins the placeholder contract.
+func TestDriverRejectsArgs(t *testing.T) {
+	db, err := sql.Open("sdb", "mem://?bits=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Query(`SELECT 1`, 42); err == nil {
+		t.Error("expected error passing args")
+	}
+}
+
+// TestDriverCtxCancel covers context cancellation through database/sql:
+// a cancelled ctx fails the query cleanly.
+func TestDriverCtxCancel(t *testing.T) {
+	secret, err := secure.Setup(256, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(storage.NewCatalog(), secret.N())
+	p, err := proxy.New(secret, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := OpenDB(p)
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, `SELECT a FROM t`); err == nil {
+		t.Error("expected error from cancelled ctx")
+	}
+}
+
+// TestDriverConcurrentReadWrite hammers one pooled sql.DB with concurrent
+// INSERTs and streamed SELECTs: the engine's statement lock must keep
+// writers and open-cursor snapshots from racing (run under -race in CI).
+func TestDriverConcurrentReadWrite(t *testing.T) {
+	db, err := sql.Open("sdb", "mem://?bits=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE cc (id INT, v INT SENSITIVE)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO cc VALUES (0, 0)`); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 2; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := db.Exec(fmt.Sprintf(`INSERT INTO cc VALUES (%d, %d)`, w*100+i, i)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				rows, err := db.Query(`SELECT id, v FROM cc WHERE v > -1`)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for rows.Next() {
+					var id, v int64
+					if err := rows.Scan(&id, &v); err != nil {
+						errc <- err
+						rows.Close()
+						return
+					}
+				}
+				if err := rows.Err(); err != nil {
+					errc <- err
+				}
+				rows.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM cc`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 17 {
+		t.Fatalf("COUNT(*) = %d, want 17", n)
+	}
+}
+
+// TestDriverCancelledInsert pins that ExecContext honours ctx for INSERTs:
+// a cancelled context aborts before the upload commits.
+func TestDriverCancelledInsert(t *testing.T) {
+	db, err := sql.Open("sdb", "mem://?bits=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE ci (a INT, b INT SENSITIVE)`); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.ExecContext(ctx, `INSERT INTO ci VALUES (1, 2)`); err == nil {
+		t.Fatal("cancelled INSERT committed")
+	}
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM ci`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("table has %d rows after cancelled INSERT, want 0", n)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"sdb/internal/parallel"
@@ -39,6 +40,14 @@ type Engine struct {
 	// pool dispatches chunked row evaluation (filters, projections, UDF
 	// columns, secure aggregates) to bounded workers.
 	pool *parallel.Pool
+	// execMu serializes writers (CREATE/INSERT/UPDATE) against readers.
+	// SELECTs share the read lock and hold it only while building their
+	// source relation: scanTable copies row values into a snapshot, so
+	// streaming iterators read snapshots lock-free after that. The lock
+	// is taken only at public entry points (Execute, Stmt.Query) — the
+	// internal recursion (subqueries in FROM) runs lock-free under the
+	// caller's hold, which keeps the RWMutex non-reentrant-safe.
+	execMu sync.RWMutex
 }
 
 // Options tune the engine's chunked parallel execution.
@@ -89,16 +98,25 @@ type Result struct {
 	Rows    []types.Row
 }
 
-// Execute runs a parsed statement.
+// Execute runs a parsed statement. Writers are serialized against
+// concurrent readers; SELECTs run concurrently with each other.
 func (e *Engine) Execute(stmt sqlparser.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.CreateTable:
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
 		return e.execCreate(s)
 	case *sqlparser.Insert:
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
 		return e.execInsert(s)
 	case *sqlparser.Update:
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
 		return e.execUpdate(s)
 	case *sqlparser.Select:
+		e.execMu.RLock()
+		defer e.execMu.RUnlock()
 		return e.execSelect(s)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)

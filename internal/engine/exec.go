@@ -10,7 +10,30 @@ import (
 	"sdb/internal/types"
 )
 
-func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
+// selectExec is a SELECT whose blocking stages have run: the source
+// relation is final (FROM, WHERE, aggregation and HAVING applied) and the
+// select list is compiled. Only the projection and the post-projection
+// steps (ORDER BY, DISTINCT, LIMIT) remain, so it is the split point
+// between materialized execution and streaming iteration.
+type selectExec struct {
+	// sel is the statement after aggregate substitution (aggregate calls
+	// replaced with column refs), used for ORDER BY/DISTINCT/LIMIT.
+	sel      *sqlparser.Select
+	rel      *relation
+	outCols  []ResultColumn
+	outExprs []compiledExpr
+}
+
+// needMaterialize reports whether the post-projection steps require the
+// whole projected row set at once (sorting and dedup are inherently
+// blocking; a bare LIMIT streams with early termination).
+func (se *selectExec) needMaterialize() bool {
+	return len(se.sel.OrderBy) > 0 || se.sel.Distinct
+}
+
+// buildSelect runs the blocking stages of a SELECT: FROM assembly, the
+// WHERE filter, aggregation + HAVING, and select-list compilation.
+func (e *Engine) buildSelect(s *sqlparser.Select) (*selectExec, error) {
 	rel, err := e.buildFrom(s.From)
 	if err != nil {
 		return nil, err
@@ -56,12 +79,17 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Chunked parallel projection: every SDB UDF in the select list (share
-	// multiplies, key updates, sign evaluations) runs here.
-	outRows, err := parallel.Map(e.pool, len(rel.rows), func(i int) (types.Row, error) {
-		out := make(types.Row, len(outExprs))
-		for c, ex := range outExprs {
-			v, err := ex(rel.rows[i])
+	return &selectExec{sel: s, rel: rel, outCols: outCols, outExprs: outExprs}, nil
+}
+
+// projectRange evaluates the select list over rel rows [lo, hi), in
+// parallel chunks on the pool. Every SDB UDF in the select list (share
+// multiplies, key updates, sign evaluations) runs here.
+func (e *Engine) projectRange(se *selectExec, lo, hi int) ([]types.Row, error) {
+	return parallel.Map(e.pool, hi-lo, func(i int) (types.Row, error) {
+		out := make(types.Row, len(se.outExprs))
+		for c, ex := range se.outExprs {
+			v, err := ex(se.rel.rows[lo+i])
 			if err != nil {
 				return nil, err
 			}
@@ -69,6 +97,21 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 		}
 		return out, nil
 	})
+}
+
+func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
+	se, err := e.buildSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	return e.materializeSelect(se)
+}
+
+// materializeSelect runs the projection over the whole relation and applies
+// the post-projection steps, producing a fully materialized result.
+func (e *Engine) materializeSelect(se *selectExec) (*Result, error) {
+	s := se.sel
+	outRows, err := e.projectRange(se, 0, len(se.rel.rows))
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +119,7 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 	// ORDER BY: evaluated against the pre-projection relation, with
 	// aliases resolving to projected columns.
 	if len(s.OrderBy) > 0 {
-		outRows, err = e.orderBy(s, rel, outCols, outRows)
+		outRows, err = e.orderBy(s, se.rel, se.outCols, outRows)
 		if err != nil {
 			return nil, err
 		}
@@ -102,16 +145,21 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 	}
 
 	// Column kinds: infer from the first non-null value.
-	res := &Result{Columns: outCols, Rows: outRows}
-	for c := range res.Columns {
-		for _, row := range outRows {
+	res := &Result{Columns: append([]ResultColumn{}, se.outCols...), Rows: outRows}
+	inferKinds(res.Columns, outRows)
+	return res, nil
+}
+
+// inferKinds sets column kinds from the first non-null value per column.
+func inferKinds(cols []ResultColumn, rows []types.Row) {
+	for c := range cols {
+		for _, row := range rows {
 			if !row[c].IsNull() {
-				res.Columns[c].Kind = row[c].K
+				cols[c].Kind = row[c].K
 				break
 			}
 		}
 	}
-	return res, nil
 }
 
 // filterRows evaluates pred over the relation in parallel chunks and

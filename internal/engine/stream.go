@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// ErrStmtClosed reports use of a prepared statement that has been closed
+// (locally, or server-side after a cancelled stream freed the session
+// statement). Callers holding the statement's source can re-prepare.
+var ErrStmtClosed = errors.New("prepared statement closed")
+
+// RowIterator is a Volcano-style cursor over a query result. Rows arrive in
+// batches (chunk granularity comes from the engine's parallel pool) instead
+// of as one materialized slice, so the peak memory of a large scan is
+// bounded by the batch size rather than the result size.
+//
+// NextBatch returns a non-empty batch, or (nil, io.EOF) once the stream is
+// exhausted, or (nil, err) on failure — a batch is never paired with an
+// error. Iterators are not safe for concurrent use.
+type RowIterator interface {
+	// Columns describes the output. Kinds are inferred from the first
+	// batch, which Columns computes eagerly if needed.
+	Columns() []ResultColumn
+	NextBatch() ([]types.Row, error)
+	// Close releases the iterator early; subsequent NextBatch calls
+	// return io.EOF. Close is idempotent.
+	Close() error
+}
+
+// PreparedStmt is the interface a prepared statement presents to callers
+// that do not care where it executes: the in-process *Stmt and the network
+// client's remote statement both implement it.
+type PreparedStmt interface {
+	Query(ctx context.Context) (RowIterator, error)
+	Close() error
+}
+
+// Stmt is a parsed statement, prepared once and executable many times.
+type Stmt struct {
+	e    *Engine
+	stmt sqlparser.Statement
+	src  string
+}
+
+// Prepare parses one statement for repeated execution.
+func (e *Engine) Prepare(src string) (*Stmt, error) {
+	stmt, err := sqlparser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{e: e, stmt: stmt, src: src}, nil
+}
+
+// PrepareStream is Prepare returning the executor-neutral interface (the
+// proxy selects streaming executors by this method).
+func (e *Engine) PrepareStream(src string) (PreparedStmt, error) {
+	return e.Prepare(src)
+}
+
+// SQL returns the statement's source text.
+func (s *Stmt) SQL() string { return s.src }
+
+// Close releases the statement. In-process statements hold no resources.
+func (s *Stmt) Close() error { return nil }
+
+// Query executes the statement and returns a streaming cursor. SELECTs
+// stream their projection stage batch by batch with ctx checked between
+// batches; sorting and dedup are blocking, so ORDER BY/DISTINCT results are
+// materialized first and then served in batches. Non-SELECT statements
+// execute eagerly and return their (small) result as a one-shot stream.
+func (s *Stmt) Query(ctx context.Context) (RowIterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if sel, ok := s.stmt.(*sqlparser.Select); ok {
+		// The read lock spans the blocking stages only: buildSelect
+		// snapshots the source relation, so the returned iterator
+		// projects lock-free and concurrent writers are not starved by
+		// open cursors.
+		s.e.execMu.RLock()
+		defer s.e.execMu.RUnlock()
+		return s.e.querySelect(ctx, sel)
+	}
+	res, err := s.e.Execute(s.stmt)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceIterator(res.Columns, res.Rows, s.e.batchRows()), nil
+}
+
+// QuerySQL is Prepare + Query in one call.
+func (e *Engine) QuerySQL(ctx context.Context, src string) (RowIterator, error) {
+	stmt, err := e.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query(ctx)
+}
+
+// maxBatchRows caps streamed batches so a single batch never approaches a
+// materialized result even on wide pools.
+const maxBatchRows = 8192
+
+// batchRows is the row granularity of streamed batches: one pool chunk per
+// worker, so a batch keeps every worker busy while bounding resident rows.
+func (e *Engine) batchRows() int {
+	b := e.pool.ChunkSize() * e.pool.Workers()
+	if b > maxBatchRows {
+		b = maxBatchRows
+	}
+	return b
+}
+
+func (e *Engine) querySelect(ctx context.Context, s *sqlparser.Select) (RowIterator, error) {
+	se, err := e.buildSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	if se.needMaterialize() {
+		res, err := e.materializeSelect(se)
+		if err != nil {
+			return nil, err
+		}
+		return NewSliceIterator(res.Columns, res.Rows, e.batchRows()), nil
+	}
+	limit := int64(-1)
+	if s.Limit != nil {
+		limit = *s.Limit
+	}
+	return &projIterator{
+		ctx:       ctx,
+		e:         e,
+		se:        se,
+		batch:     e.batchRows(),
+		remaining: limit,
+		cols:      append([]ResultColumn{}, se.outCols...),
+	}, nil
+}
+
+// projIterator streams the projection stage of a SELECT over its final
+// relation: each NextBatch evaluates the select list for the next batch of
+// rows (parallel chunks on the pool) and checks ctx between batches.
+type projIterator struct {
+	ctx       context.Context
+	e         *Engine
+	se        *selectExec
+	batch     int
+	pos       int
+	remaining int64 // LIMIT countdown; -1 means unlimited
+	cols      []ResultColumn
+
+	pending  []types.Row // batch computed early by Columns()
+	inferred bool
+	done     bool
+	err      error
+}
+
+func (it *projIterator) Columns() []ResultColumn {
+	if !it.inferred && !it.done && it.err == nil && it.pending == nil {
+		// Compute (and buffer) the first batch so kinds are known.
+		rows, err := it.produce()
+		if err != nil {
+			if err != io.EOF {
+				it.err = err
+			} else {
+				it.done = true
+			}
+		} else {
+			it.pending = rows
+		}
+	}
+	return it.cols
+}
+
+func (it *projIterator) NextBatch() ([]types.Row, error) {
+	if it.err != nil {
+		return nil, it.err
+	}
+	if it.done {
+		return nil, io.EOF
+	}
+	if it.pending != nil {
+		rows := it.pending
+		it.pending = nil
+		return rows, nil
+	}
+	rows, err := it.produce()
+	if err != nil {
+		if err == io.EOF {
+			it.done = true
+		} else {
+			it.err = err
+		}
+		return nil, err
+	}
+	return rows, nil
+}
+
+// produce computes the next projected batch, honouring ctx and LIMIT.
+func (it *projIterator) produce() ([]types.Row, error) {
+	if err := it.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if it.pos >= len(it.se.rel.rows) || it.remaining == 0 {
+		return nil, io.EOF
+	}
+	hi := it.pos + it.batch
+	if hi > len(it.se.rel.rows) {
+		hi = len(it.se.rel.rows)
+	}
+	if it.remaining >= 0 && int64(hi-it.pos) > it.remaining {
+		hi = it.pos + int(it.remaining)
+	}
+	rows, err := it.e.projectRange(it.se, it.pos, hi)
+	if err != nil {
+		return nil, err
+	}
+	it.pos = hi
+	if it.remaining > 0 {
+		it.remaining -= int64(len(rows))
+	}
+	if !it.inferred {
+		inferKinds(it.cols, rows)
+		it.inferred = true
+	}
+	return rows, nil
+}
+
+func (it *projIterator) Close() error {
+	it.done = true
+	it.pending = nil
+	// Drop the relation so a closed cursor does not pin source rows.
+	it.se = nil
+	it.e = nil
+	return nil
+}
+
+// sliceIterator serves an already-materialized row set in batches.
+type sliceIterator struct {
+	cols  []ResultColumn
+	rows  []types.Row
+	batch int
+	pos   int
+	done  bool
+}
+
+// NewSliceIterator wraps materialized rows as a RowIterator serving batches
+// of at most batch rows (<= 0 means one batch with everything).
+func NewSliceIterator(cols []ResultColumn, rows []types.Row, batch int) RowIterator {
+	if batch <= 0 {
+		batch = len(rows)
+		if batch == 0 {
+			batch = 1
+		}
+	}
+	return &sliceIterator{cols: cols, rows: rows, batch: batch}
+}
+
+func (it *sliceIterator) Columns() []ResultColumn { return it.cols }
+
+func (it *sliceIterator) NextBatch() ([]types.Row, error) {
+	if it.done || it.pos >= len(it.rows) {
+		return nil, io.EOF
+	}
+	hi := it.pos + it.batch
+	if hi > len(it.rows) {
+		hi = len(it.rows)
+	}
+	rows := it.rows[it.pos:hi]
+	it.pos = hi
+	return rows, nil
+}
+
+func (it *sliceIterator) Close() error {
+	it.done = true
+	it.rows = nil
+	return nil
+}
+
+// Drain consumes an iterator into a materialized Result and closes it.
+func Drain(it RowIterator) (*Result, error) {
+	defer it.Close()
+	res := &Result{Columns: it.Columns()}
+	for {
+		batch, err := it.NextBatch()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, batch...)
+	}
+}

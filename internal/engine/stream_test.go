@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+// bigEngine builds an engine with a table large enough to span several
+// streamed batches at a small chunk size.
+func bigEngine(t *testing.T, rows int) *Engine {
+	t.Helper()
+	e := NewWithOptions(storage.NewCatalog(), nil, Options{Parallelism: 2, ChunkSize: 16})
+	mustExec(t, e, `CREATE TABLE big (id INT, v INT)`)
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i*3)
+	}
+	mustExec(t, e, "INSERT INTO big VALUES "+sb.String())
+	return e
+}
+
+// drainStream collects every batch and checks the batch-size invariant.
+func drainStream(t *testing.T, it RowIterator, maxBatch int) []types.Row {
+	t.Helper()
+	var all []types.Row
+	for {
+		batch, err := it.NextBatch()
+		if err == io.EOF {
+			return all
+		}
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+		if len(batch) == 0 {
+			t.Fatal("empty non-EOF batch")
+		}
+		if maxBatch > 0 && len(batch) > maxBatch {
+			t.Fatalf("batch of %d rows exceeds bound %d", len(batch), maxBatch)
+		}
+		all = append(all, batch...)
+	}
+}
+
+// TestStreamMatchesMaterialized compares Prepare/Query streaming against
+// ExecuteSQL across plan shapes (plain scan, filter, aggregate, ORDER BY
+// materialized path, LIMIT early stop).
+func TestStreamMatchesMaterialized(t *testing.T) {
+	e := bigEngine(t, 200)
+	queries := []string{
+		`SELECT id, v FROM big`,
+		`SELECT id FROM big WHERE v > 300`,
+		`SELECT COUNT(*), SUM(v) FROM big`,
+		`SELECT id FROM big ORDER BY id DESC LIMIT 7`,
+		`SELECT DISTINCT v FROM big WHERE id < 10`,
+		`SELECT id FROM big LIMIT 33`,
+	}
+	for _, sql := range queries {
+		want := mustExec(t, e, sql)
+		stmt, err := e.Prepare(sql)
+		if err != nil {
+			t.Fatalf("Prepare(%q): %v", sql, err)
+		}
+		// Execute twice to confirm statements are reusable.
+		for run := 0; run < 2; run++ {
+			it, err := stmt.Query(context.Background())
+			if err != nil {
+				t.Fatalf("Query(%q): %v", sql, err)
+			}
+			got := drainStream(t, it, e.batchRows())
+			if len(got) != len(want.Rows) {
+				t.Fatalf("%q run %d: %d rows streamed, want %d", sql, run, len(got), len(want.Rows))
+			}
+			for i := range got {
+				for c := range got[i] {
+					if !got[i][c].Equal(want.Rows[i][c]) {
+						t.Fatalf("%q row %d col %d: %v != %v", sql, i, c, got[i][c], want.Rows[i][c])
+					}
+				}
+			}
+			it.Close()
+		}
+	}
+}
+
+// TestStreamScanBatchBounded asserts the core memory claim: a large scan
+// streams in batches bounded by the pool geometry (chunk × workers), never
+// the result size.
+func TestStreamScanBatchBounded(t *testing.T) {
+	e := bigEngine(t, 500)
+	bound := e.batchRows() // 2 workers × 16-row chunks = 32
+	if bound >= 500 {
+		t.Fatalf("test needs batch bound (%d) < table size", bound)
+	}
+	it, err := e.QuerySQL(context.Background(), `SELECT id, v FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	rows := drainStream(t, it, bound)
+	if len(rows) != 500 {
+		t.Fatalf("streamed %d rows, want 500", len(rows))
+	}
+}
+
+// TestStreamCtxCancelBetweenBatches cancels the query context after the
+// first batch; the next NextBatch must fail with the ctx error instead of
+// computing on.
+func TestStreamCtxCancelBetweenBatches(t *testing.T) {
+	e := bigEngine(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := e.QuerySQL(ctx, `SELECT id FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, err := it.NextBatch(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	if _, err := it.NextBatch(); err != context.Canceled {
+		t.Fatalf("after cancel: got %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamLimitStopsEarly checks that a streamed LIMIT stops producing
+// batches at the limit instead of projecting the whole relation.
+func TestStreamLimitStopsEarly(t *testing.T) {
+	e := bigEngine(t, 400)
+	it, err := e.QuerySQL(context.Background(), `SELECT id FROM big LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	rows := drainStream(t, it, 0)
+	if len(rows) != 5 {
+		t.Fatalf("streamed %d rows, want 5", len(rows))
+	}
+}
+
+// TestStreamNonSelect covers the eager one-shot path for DDL/DML.
+func TestStreamNonSelect(t *testing.T) {
+	e := New(storage.NewCatalog(), nil)
+	it, err := e.QuerySQL(context.Background(), `CREATE TABLE t (a INT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := drainStream(t, it, 0); len(rows) != 0 {
+		t.Fatalf("CREATE returned %d rows", len(rows))
+	}
+	it, err = e.QuerySQL(context.Background(), `INSERT INTO t VALUES (1), (2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainStream(t, it, 0)
+	it, err = e.QuerySQL(context.Background(), `UPDATE t SET a = a + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStream(t, it, 0)
+	if len(rows) != 1 || rows[0][0].I != 2 {
+		t.Fatalf("UPDATE result = %v, want [[2]]", rows)
+	}
+}
+
+// TestStreamClosedIteratorEOF pins Close semantics.
+func TestStreamClosedIteratorEOF(t *testing.T) {
+	e := bigEngine(t, 100)
+	it, err := e.QuerySQL(context.Background(), `SELECT id FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if _, err := it.NextBatch(); err != io.EOF {
+		t.Fatalf("after Close: got %v, want io.EOF", err)
+	}
+}
+
+// TestDrainMatchesExecute pins the Drain helper.
+func TestDrainMatchesExecute(t *testing.T) {
+	e := plainEngine(t)
+	it, err := e.QuerySQL(context.Background(), `SELECT name FROM emp ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustExec(t, e, `SELECT name FROM emp ORDER BY name`)
+	got, exp := strs(res, 0), strs(want, 0)
+	if fmt.Sprint(got) != fmt.Sprint(exp) {
+		t.Fatalf("drained %v, want %v", got, exp)
+	}
+}

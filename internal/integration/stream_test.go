@@ -1,0 +1,138 @@
+package integration
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/tpch"
+)
+
+// drainCursor consumes a decrypting cursor into a materialized result.
+func drainCursor(t *testing.T, rows *proxy.Rows) *proxy.Result {
+	t.Helper()
+	defer rows.Close()
+	res := &proxy.Result{Columns: rows.Columns()}
+	for {
+		row, err := rows.Next()
+		if err == io.EOF {
+			return res
+		}
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+// TestTPCHStreamMatchesLegacy runs every runnable TPC-H query through both
+// execution paths of the secure deployment — the streaming prepared-
+// statement cursor and the legacy materialized ExecuteSQL wrapper — and
+// against the plaintext deployment. All three must agree cell by cell.
+func TestTPCHStreamMatchesLegacy(t *testing.T) {
+	f := setup(t)
+	ctx := context.Background()
+	for _, q := range tpch.RunnableQueries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			want, err := f.plain.Exec(q.SQL)
+			if err != nil {
+				t.Fatalf("plaintext Q%d: %v", q.Num, err)
+			}
+
+			// Legacy path: single-shot ExecuteSQL, fully materialized.
+			f.sdb.SetOptions(proxy.Options{DisableStream: true})
+			legacy, err := f.sdb.Exec(q.SQL)
+			if err != nil {
+				t.Fatalf("legacy Q%d: %v", q.Num, err)
+			}
+			f.sdb.SetOptions(proxy.Options{})
+
+			// Streaming path: prepared statement + decrypting cursor,
+			// executed twice to cover statement reuse.
+			stmt, err := f.sdb.PrepareContext(ctx, q.SQL)
+			if err != nil {
+				t.Fatalf("prepare Q%d: %v", q.Num, err)
+			}
+			defer stmt.Close()
+			for run := 0; run < 2; run++ {
+				rows, err := stmt.QueryContext(ctx)
+				if err != nil {
+					t.Fatalf("stream Q%d run %d: %v", q.Num, run, err)
+				}
+				stream := drainCursor(t, rows)
+				requireEqualResults(t, "stream vs plaintext", q.SQL, stream, want)
+				requireEqualResults(t, "stream vs legacy", q.SQL, stream, legacy)
+			}
+			requireEqualResults(t, "legacy vs plaintext", q.SQL, legacy, want)
+		})
+	}
+}
+
+// TestStreamCancelMidTPCH cancels a streamed TPC-H scan after the first
+// row; the cursor must surface the cancellation instead of completing.
+// Tiny chunks force a many-batch stream so the cancellation point lands
+// well before EOS.
+func TestStreamCancelMidTPCH(t *testing.T) {
+	f := setup(t)
+	f.sdbEng.SetOptions(engine.Options{Parallelism: 2, ChunkSize: 8})
+	defer f.sdbEng.SetOptions(engine.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := f.sdb.QueryContext(ctx, `SELECT l_orderkey, l_quantity FROM lineitem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if _, err := rows.Next(); err != nil {
+		t.Fatalf("first row: %v", err)
+	}
+	cancel()
+	sawErr := false
+	for i := 0; i < 1_000_000; i++ {
+		_, err := rows.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("cancelled stream ran to completion without surfacing ctx error")
+	}
+}
+
+// TestPreparedStmtSurvivesRotation pins the rotation/prepared-statement
+// contract: a SELECT prepared before a key rotation must re-derive its
+// tokens and decryption keys on the next execution, not decrypt re-keyed
+// shares with stale keys.
+func TestPreparedStmtSurvivesRotation(t *testing.T) {
+	f := setup(t)
+	ctx := context.Background()
+	const sql = `SELECT l_returnflag, SUM(l_discount), COUNT(*) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
+	want, err := f.plain.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := f.sdb.PrepareContext(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	before, err := stmt.ExecContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "prepared pre-rotation", sql, before, want)
+	if _, err := f.sdb.RotateColumn("lineitem", "l_discount"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := stmt.ExecContext(ctx)
+	if err != nil {
+		t.Fatalf("prepared statement after rotation: %v", err)
+	}
+	requireEqualResults(t, "prepared post-rotation", sql, after, want)
+}

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
@@ -31,19 +32,32 @@ type Proxy struct {
 	store  *KeyStore
 	exec   Executor
 	nonce  atomic.Uint64
-	// pool dispatches the per-row result decryption loop to bounded
-	// workers (each row's share decryptions are independent).
+	// pool dispatches the per-row result decryption and upload encryption
+	// loops to bounded workers (each row's share operations are
+	// independent).
 	pool *parallel.Pool
+	opts Options
+	// rotGen counts key rotations. Prepared SELECTs capture tokens and
+	// decryption keys at rewrite time; a generation mismatch makes them
+	// re-prepare instead of decrypting re-keyed shares with stale keys.
+	rotGen atomic.Uint64
 }
 
-// Options tune the proxy's chunked parallel decryption.
+// Options tune the proxy's chunked parallel encryption/decryption and its
+// execution path.
 type Options struct {
-	// Parallelism bounds the worker goroutines for result decryption.
-	// <= 0 means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	// Parallelism bounds the worker goroutines for result decryption and
+	// INSERT-side encryption. <= 0 means runtime.GOMAXPROCS(0); 1 forces
+	// serial execution.
 	Parallelism int
-	// ChunkSize is the number of result rows per dispatched chunk. <= 0
-	// means parallel.DefaultChunkSize (1024).
+	// ChunkSize is the number of rows per dispatched chunk. <= 0 means
+	// parallel.DefaultChunkSize (1024).
 	ChunkSize int
+	// DisableStream forces the legacy single-shot execution path (one
+	// materialized ExecuteSQL round trip per statement) even when the
+	// executor supports streaming. Used by differential tests and as an
+	// operational safety valve.
+	DisableStream bool
 }
 
 // rowIDBits bounds row ids to [1, 2^rowIDBits); the SIES modulus is
@@ -73,13 +87,15 @@ func NewWithOptions(secret *secure.Secret, exec Executor, opts Options) (*Proxy,
 		store:  NewKeyStore(),
 		exec:   exec,
 		pool:   parallel.New(opts.Parallelism, opts.ChunkSize),
+		opts:   opts,
 	}, nil
 }
 
 // SetOptions replaces the execution options. It must not be called
-// concurrently with running statements.
+// concurrently with running statements or open cursors.
 func (p *Proxy) SetOptions(opts Options) {
 	p.pool = parallel.New(opts.Parallelism, opts.ChunkSize)
+	p.opts = opts
 }
 
 // Secret exposes the scheme secret (examples and tests need the params).
@@ -118,31 +134,19 @@ type Result struct {
 	Stats   Stats
 }
 
-// Exec parses, rewrites, executes and decrypts one SQL statement.
+// Exec parses, rewrites, executes and decrypts one SQL statement. It is
+// the single-call compatibility API, a thin wrapper over the prepared
+// streaming path (Prepare + ExecContext + Close).
 func (p *Proxy) Exec(sql string) (*Result, error) {
-	var st Stats
-	t0 := time.Now()
-	stmt, err := sqlparser.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	st.Parse = time.Since(t0)
-
-	switch s := stmt.(type) {
-	case *sqlparser.CreateTable:
-		return p.execCreate(s, st)
-	case *sqlparser.Insert:
-		return p.execInsert(s, st)
-	case *sqlparser.Select:
-		return p.execSelect(s, st)
-	default:
-		return nil, fmt.Errorf("proxy: unsupported statement %T", stmt)
-	}
+	return p.ExecContext(context.Background(), sql)
 }
 
 // execCreate registers keys for sensitive columns and forwards a CREATE
 // with the hidden mask column appended.
-func (p *Proxy) execCreate(s *sqlparser.CreateTable, st Stats) (*Result, error) {
+func (p *Proxy) execCreate(ctx context.Context, s *sqlparser.CreateTable, st Stats) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	cols := make([]types.Column, len(s.Cols))
 	meta := &TableMeta{Keys: make(map[string]secure.ColumnKey)}
@@ -194,8 +198,9 @@ func (p *Proxy) execCreate(s *sqlparser.CreateTable, st Stats) (*Result, error) 
 }
 
 // execInsert encrypts sensitive values and forwards a rewritten INSERT that
-// carries shares, the encrypted row id and the row helper.
-func (p *Proxy) execInsert(s *sqlparser.Insert, st Stats) (*Result, error) {
+// carries shares, the encrypted row id and the row helper. ctx is checked
+// per encryption chunk and before the upload is forwarded.
+func (p *Proxy) execInsert(ctx context.Context, s *sqlparser.Insert, st Stats) (*Result, error) {
 	t0 := time.Now()
 	meta, err := p.store.Get(s.Table)
 	if err != nil {
@@ -217,58 +222,25 @@ func (p *Proxy) execInsert(s *sqlparser.Insert, st Stats) (*Result, error) {
 		out.Columns = append(out.Columns, MaskColumn, engine.RowIDColumn, engine.HelperColumn)
 	}
 
-	for _, row := range s.Rows {
-		if len(row) != len(names) {
-			return nil, fmt.Errorf("proxy: INSERT arity %d != %d columns", len(row), len(names))
-		}
-		rid, rowEnc, err := p.newRowID()
-		if err != nil {
+	// Upload-side encryption is the INSERT hot path (one share per
+	// sensitive value plus mask, row id and helper per row, all modular
+	// exponentiations); rows are independent, so they encrypt in parallel
+	// chunks on the proxy's pool.
+	encRows, err := parallel.Map(p.pool, len(s.Rows), func(i int) ([]sqlparser.Expr, error) {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		outRow := make([]sqlparser.Expr, 0, len(row)+3)
-		for i, ex := range row {
-			col, ok := meta.Column(names[i])
-			if !ok {
-				return nil, fmt.Errorf("proxy: table %q has no column %q", s.Table, names[i])
-			}
-			if !col.Type.Sensitive {
-				outRow = append(outRow, ex)
-				continue
-			}
-			v, err := engine.EvalConstExpr(ex)
-			if err != nil {
-				return nil, err
-			}
-			plain, err := plainInt(v, col.Type)
-			if err != nil {
-				return nil, fmt.Errorf("proxy: column %q: %w", col.Name, err)
-			}
-			ck := meta.Keys[strings.ToLower(col.Name)]
-			ve, err := p.secret.EncryptInt64(plain, rid, ck)
-			if err != nil {
-				return nil, err
-			}
-			outRow = append(outRow, sqlparser.HexLit{V: ve})
-		}
-		if hasSensitive {
-			mask, err := p.secret.NewMaskValue()
-			if err != nil {
-				return nil, err
-			}
-			me, err := p.secret.EncryptMask(mask, rid, meta.MaskKey)
-			if err != nil {
-				return nil, err
-			}
-			outRow = append(outRow,
-				sqlparser.HexLit{V: me},
-				sqlparser.HexLit{V: rowEnc},
-				sqlparser.HexLit{V: p.secret.RowHelper(rid)},
-			)
-		}
-		out.Rows = append(out.Rows, outRow)
+		return p.encryptInsertRow(meta, s.Table, names, s.Rows[i], hasSensitive)
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = encRows
 	st.Rewrite = time.Since(t0)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	if _, err := p.exec.ExecuteSQL(out.String()); err != nil {
 		return nil, err
@@ -276,6 +248,62 @@ func (p *Proxy) execInsert(s *sqlparser.Insert, st Stats) (*Result, error) {
 	st.Server = time.Since(t1)
 	st.RewrittenSQL = out.String()
 	return &Result{Stats: st}, nil
+}
+
+// encryptInsertRow rewrites one INSERT row: sensitive values become
+// encrypted shares under a fresh row id, and the hidden mask, encrypted
+// row id and row helper are appended. It is called concurrently by
+// execInsert's chunks; everything it touches on the proxy (scheme secret,
+// key store metadata, SIES cipher) is read-only or internally atomic.
+func (p *Proxy) encryptInsertRow(meta *TableMeta, table string, names []string, row []sqlparser.Expr, hasSensitive bool) ([]sqlparser.Expr, error) {
+	if len(row) != len(names) {
+		return nil, fmt.Errorf("proxy: INSERT arity %d != %d columns", len(row), len(names))
+	}
+	rid, rowEnc, err := p.newRowID()
+	if err != nil {
+		return nil, err
+	}
+	outRow := make([]sqlparser.Expr, 0, len(row)+3)
+	for i, ex := range row {
+		col, ok := meta.Column(names[i])
+		if !ok {
+			return nil, fmt.Errorf("proxy: table %q has no column %q", table, names[i])
+		}
+		if !col.Type.Sensitive {
+			outRow = append(outRow, ex)
+			continue
+		}
+		v, err := engine.EvalConstExpr(ex)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := plainInt(v, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: column %q: %w", col.Name, err)
+		}
+		ck := meta.Keys[strings.ToLower(col.Name)]
+		ve, err := p.secret.EncryptInt64(plain, rid, ck)
+		if err != nil {
+			return nil, err
+		}
+		outRow = append(outRow, sqlparser.HexLit{V: ve})
+	}
+	if hasSensitive {
+		mask, err := p.secret.NewMaskValue()
+		if err != nil {
+			return nil, err
+		}
+		me, err := p.secret.EncryptMask(mask, rid, meta.MaskKey)
+		if err != nil {
+			return nil, err
+		}
+		outRow = append(outRow,
+			sqlparser.HexLit{V: me},
+			sqlparser.HexLit{V: rowEnc},
+			sqlparser.HexLit{V: p.secret.RowHelper(rid)},
+		)
+	}
+	return outRow, nil
 }
 
 // newRowID draws a fresh row id and returns it along with its packed

@@ -62,8 +62,10 @@ func (p *Proxy) RotateColumn(table, column string) (Stats, error) {
 	}
 	st.Server = time.Since(t1)
 
-	// Only after the server confirms do we swap the key.
+	// Only after the server confirms do we swap the key — and bump the
+	// rotation generation so prepared statements re-derive their tokens.
 	meta.Keys[strings.ToLower(column)] = newKey
+	p.rotGen.Add(1)
 	return st, nil
 }
 
@@ -108,5 +110,6 @@ func (p *Proxy) RotateMask(table string) (Stats, error) {
 	}
 	st.Server = time.Since(t1)
 	meta.MaskKey = newKey
+	p.rotGen.Add(1)
 	return st, nil
 }

@@ -3,7 +3,6 @@ package proxy
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"sdb/internal/secure"
 	"sdb/internal/sqlparser"
@@ -54,35 +53,6 @@ type selectPlan struct {
 	out       []outCol
 	postOrder []postKey
 	postLimit *int64
-}
-
-// execSelect rewrites, executes and decrypts a SELECT.
-func (p *Proxy) execSelect(s *sqlparser.Select, st Stats) (*Result, error) {
-	t0 := time.Now()
-	rw := &rewriter{p: p}
-	rewritten, plan, err := rw.rewriteSelect(s, false)
-	if err != nil {
-		return nil, err
-	}
-	sql := rewritten.String()
-	st.Rewrite = time.Since(t0)
-	st.RewrittenSQL = sql
-
-	t1 := time.Now()
-	srvRes, err := p.exec.ExecuteSQL(sql)
-	if err != nil {
-		return nil, err
-	}
-	st.Server = time.Since(t1)
-
-	t2 := time.Now()
-	res, err := p.decryptResult(srvRes, plan)
-	if err != nil {
-		return nil, err
-	}
-	st.Decrypt = time.Since(t2)
-	res.Stats = st
-	return res, nil
 }
 
 // rewriteSelect rewrites one SELECT statement. When forSubquery is set,

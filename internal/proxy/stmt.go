@@ -1,0 +1,333 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sdb/internal/engine"
+	"sdb/internal/sqlparser"
+)
+
+// StreamExecutor is an Executor that can also prepare statements for
+// streamed execution: the in-process engine and the network client both
+// implement it. The proxy prefers this interface and falls back to the
+// single-shot ExecuteSQL when it is absent (or disabled via Options).
+type StreamExecutor interface {
+	Executor
+	PrepareStream(sql string) (engine.PreparedStmt, error)
+}
+
+type stmtKind int
+
+const (
+	kindSelect stmtKind = iota
+	kindInsert
+	kindCreate
+)
+
+// Stmt is a prepared statement at the proxy. For SELECTs, Prepare does the
+// expensive client-side work once — parsing, query rewriting, and the
+// token/key derivations the rewrite embeds — so repeated executions skip
+// re-parsing and token re-derivation. Against a streaming executor the
+// rewritten statement is also prepared server-side, so re-execution skips
+// the server's parse as well.
+//
+// INSERTs are parsed once but rewritten per execution: every execution
+// draws fresh row ids, masks and nonces. CREATEs register keys at
+// execution time, so a prepared CREATE can run at most once.
+type Stmt struct {
+	p    *Proxy
+	src  string
+	kind stmtKind
+	// prep records the one-time Parse/Rewrite cost, folded into each
+	// execution's Stats.
+	prep Stats
+
+	// SELECT state. The rewritten SQL and plan capture key-store state
+	// (tokens, decryption keys) at the recorded rotation generation; a
+	// later key rotation triggers a transparent re-derivation.
+	sel       *sqlparser.Select
+	rewritten string
+	plan      *selectPlan
+	gen       uint64
+	// remote is the server-side prepared statement (nil when the executor
+	// is single-shot or streaming is disabled). Guarded by mu: a stream
+	// cancelled server-side frees the remote statement, and the next
+	// QueryContext re-prepares it.
+	mu     sync.Mutex
+	remote engine.PreparedStmt
+	// active is the statement's open cursor, if any: the remote protocol
+	// has one cursor per statement, so re-execution closes it first.
+	active *Rows
+
+	// INSERT / CREATE state.
+	ins    *sqlparser.Insert
+	create *sqlparser.CreateTable
+
+	closed bool
+}
+
+// Prepare parses and rewrites one statement for repeated execution.
+func (p *Proxy) Prepare(sql string) (*Stmt, error) {
+	return p.PrepareContext(context.Background(), sql)
+}
+
+// PrepareContext is Prepare honouring ctx cancellation.
+func (p *Proxy) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	parsed, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{p: p, src: sql}
+	s.prep.Parse = time.Since(t0)
+
+	switch st := parsed.(type) {
+	case *sqlparser.Select:
+		s.kind = kindSelect
+		s.sel = st
+		if err := s.prepareSelect(); err != nil {
+			return nil, err
+		}
+	case *sqlparser.Insert:
+		s.kind = kindInsert
+		s.ins = st
+	case *sqlparser.CreateTable:
+		s.kind = kindCreate
+		s.create = st
+	default:
+		return nil, fmt.Errorf("proxy: unsupported statement %T", parsed)
+	}
+	return s, nil
+}
+
+// prepareSelect (re)derives the rewritten SQL, decryption plan and
+// server-side statement from the current key-store state, recording the
+// rotation generation it captured. It runs at Prepare time and again
+// whenever a key rotation has invalidated the captured tokens.
+func (s *Stmt) prepareSelect() error {
+	t1 := time.Now()
+	gen := s.p.rotGen.Load()
+	rw := &rewriter{p: s.p}
+	rewritten, plan, err := rw.rewriteSelect(s.sel, false)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.remote != nil {
+		s.remote.Close()
+		s.remote = nil
+	}
+	s.rewritten = rewritten.String()
+	s.plan = plan
+	s.gen = gen
+	s.mu.Unlock()
+	s.prep.Rewrite = time.Since(t1)
+	s.prep.RewrittenSQL = s.rewritten
+	if se, ok := s.p.streamExecutor(); ok {
+		remote, err := se.PrepareStream(s.rewritten)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.remote = remote
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// streamExecutor returns the executor as a StreamExecutor when streaming
+// is available and enabled.
+func (p *Proxy) streamExecutor() (StreamExecutor, bool) {
+	if p.opts.DisableStream {
+		return nil, false
+	}
+	se, ok := p.exec.(StreamExecutor)
+	return se, ok
+}
+
+// IsQuery reports whether the statement returns a row stream (a SELECT).
+func (s *Stmt) IsQuery() bool { return s.kind == kindSelect }
+
+// SQL returns the statement's original source text.
+func (s *Stmt) SQL() string { return s.src }
+
+// Close releases the statement, closing any open cursor and freeing its
+// server-side session slot.
+func (s *Stmt) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	remote := s.remote
+	s.remote = nil
+	active := s.active
+	s.active = nil
+	s.mu.Unlock()
+	if active != nil {
+		active.Close()
+	}
+	if remote != nil {
+		return remote.Close()
+	}
+	return nil
+}
+
+// QueryContext executes a prepared SELECT, returning a decrypting cursor
+// over the streamed result. The ctx is checked between row batches; on a
+// streaming executor, cancelling it tears the server-side cursor and
+// statement down (the statement is re-prepared transparently on the next
+// QueryContext).
+func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
+	if s.kind != kindSelect {
+		return nil, fmt.Errorf("proxy: statement is not a SELECT (use ExecContext)")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, engine.ErrStmtClosed
+	}
+	active := s.active
+	s.active = nil
+	stale := s.gen != s.p.rotGen.Load()
+	s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The protocol has one cursor per statement: close (and join) any
+	// previous open cursor, or its fetch loop would steal batches from
+	// the new stream.
+	if active != nil {
+		active.Close()
+	}
+	// A key rotation since Prepare invalidated the captured tokens and
+	// decryption keys; re-derive them before touching re-keyed shares.
+	if stale {
+		if err := s.prepareSelect(); err != nil {
+			return nil, err
+		}
+	}
+
+	st := s.prep
+	it, serverTime, err := s.queryEncrypted(ctx)
+	if err != nil {
+		return nil, err
+	}
+	st.Server = serverTime
+	rows, err := newRows(ctx, s.p, s.plan, it, st, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.active = rows
+	s.mu.Unlock()
+	return rows, nil
+}
+
+// queryEncrypted obtains the encrypted row stream from the executor: a true
+// server cursor when streaming, or the materialized single-shot result
+// wrapped as a one-shot stream otherwise.
+func (s *Stmt) queryEncrypted(ctx context.Context) (engine.RowIterator, time.Duration, error) {
+	se, streaming := s.p.streamExecutor()
+	if !streaming {
+		t0 := time.Now()
+		res, err := s.p.exec.ExecuteSQL(s.rewritten)
+		if err != nil {
+			return nil, 0, err
+		}
+		return engine.NewSliceIterator(res.Columns, res.Rows, 0), time.Since(t0), nil
+	}
+
+	s.mu.Lock()
+	remote := s.remote
+	s.mu.Unlock()
+	if remote == nil {
+		r, err := se.PrepareStream(s.rewritten)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.mu.Lock()
+		s.remote = r
+		s.mu.Unlock()
+		remote = r
+	}
+	// The Query call runs the blocking server stages (scan, filter,
+	// aggregation — or, remotely, the Execute round trip carrying the
+	// first batch), so it is server-side cost.
+	t0 := time.Now()
+	it, err := remote.Query(ctx)
+	if errors.Is(err, engine.ErrStmtClosed) {
+		// A cancelled stream freed the server-side statement; re-prepare
+		// once and retry (starting a SELECT is idempotent).
+		r, err2 := se.PrepareStream(s.rewritten)
+		if err2 != nil {
+			return nil, 0, err2
+		}
+		s.mu.Lock()
+		s.remote = r
+		s.mu.Unlock()
+		it, err = r.Query(ctx)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return it, time.Since(t0), nil
+}
+
+// ExecContext executes the statement and materializes the outcome. SELECTs
+// drain their cursor; INSERTs re-encrypt and upload; CREATEs register keys
+// and forward the rewritten DDL.
+func (s *Stmt) ExecContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch s.kind {
+	case kindSelect:
+		rows, err := s.QueryContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return rows.drain()
+	case kindInsert:
+		return s.p.execInsert(ctx, s.ins, s.prep)
+	case kindCreate:
+		return s.p.execCreate(ctx, s.create, s.prep)
+	default:
+		return nil, fmt.Errorf("proxy: unsupported statement kind %d", s.kind)
+	}
+}
+
+// QueryContext prepares and executes a SELECT in one call; closing the
+// returned cursor also closes the one-shot statement.
+func (p *Proxy) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	stmt, err := p.PrepareContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := stmt.QueryContext(ctx)
+	if err != nil {
+		stmt.Close()
+		return nil, err
+	}
+	rows.ownStmt = stmt
+	return rows, nil
+}
+
+// ExecContext parses, rewrites, executes and decrypts one SQL statement,
+// honouring ctx. It is Prepare + ExecContext + Close in one call.
+func (p *Proxy) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	stmt, err := p.PrepareContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	defer stmt.Close()
+	return stmt.ExecContext(ctx)
+}

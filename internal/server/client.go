@@ -1,44 +1,93 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
 	"sdb/internal/engine"
+	"sdb/internal/types"
 	"sdb/internal/wire"
 )
 
 // Client is a proxy-side connection to a remote SDB server. It implements
-// proxy.Executor, so a Proxy can be pointed at a server across the network
-// exactly like at an in-process engine.
+// proxy.Executor and proxy.StreamExecutor, so a Proxy can be pointed at a
+// server across the network exactly like at an in-process engine.
+//
+// Dial negotiates the protocol version: against a v1 server, prepared
+// statements execute as streamed row-batch cursors; against a legacy (v0)
+// server the client transparently falls back to single-shot execution.
+// The connection carries one request/response exchange at a time (guarded
+// by a mutex), so several statements and cursors may interleave their
+// batch fetches on one connection.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	wc   *wire.Conn
+	ver  uint8
+	// batch caps rows per fetched frame; 0 lets the server choose.
+	batch int
 }
 
-// Dial connects to a server.
+// Dial connects to a server and negotiates the protocol version. A legacy
+// server answers the version handshake with an error frame, which marks
+// the connection as v0 (single-shot only).
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, wc: wire.NewConn(conn)}, nil
+	c := &Client{conn: conn, wc: wire.NewConn(conn)}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpHello, Ver: wire.ProtocolV1})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: version handshake with %s: %w", addr, err)
+	}
+	if resp.Ver >= wire.ProtocolV1 {
+		c.ver = wire.ProtocolV1
+	}
+	// A v0 server treats the handshake as an (empty) statement and answers
+	// with a parse error and Ver == 0: fall back to single-shot framing.
+	return c, nil
 }
 
-// ExecuteSQL sends one statement and waits for its encrypted result.
-func (c *Client) ExecuteSQL(sql string) (*engine.Result, error) {
+// Protocol returns the negotiated protocol version.
+func (c *Client) Protocol() uint8 { return c.ver }
+
+// SetBatchRows caps the rows per fetched row-batch frame (0 restores the
+// server default). It must not be called concurrently with open cursors.
+func (c *Client) SetBatchRows(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.batch = n
+}
+
+// roundTrip performs one framed exchange. The lock spans send + receive so
+// concurrent statements cannot interleave half-exchanges.
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, errors.New("server: client closed")
 	}
-	if err := c.wc.SendRequest(&wire.Request{SQL: sql}); err != nil {
+	if err := c.wc.SendRequest(req); err != nil {
 		return nil, err
 	}
 	resp, err := c.wc.ReadResponse()
+	if err != nil {
+		return nil, fmt.Errorf("server: connection lost awaiting response: %w", err)
+	}
+	return resp, nil
+}
+
+// ExecuteSQL sends one statement and waits for its whole encrypted result
+// (the v0 single-shot exchange; v1 servers still serve it).
+func (c *Client) ExecuteSQL(sql string) (*engine.Result, error) {
+	resp, err := c.roundTrip(&wire.Request{SQL: sql})
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +95,23 @@ func (c *Client) ExecuteSQL(sql string) (*engine.Result, error) {
 		return nil, errors.New(resp.Err)
 	}
 	return wire.ToResult(resp), nil
+}
+
+// PrepareStream registers a statement server-side and returns a handle
+// whose Query streams row batches. On a legacy server the handle executes
+// single-shot and streams the materialized result locally.
+func (c *Client) PrepareStream(sql string) (engine.PreparedStmt, error) {
+	if c.ver < wire.ProtocolV1 {
+		return &legacyStmt{c: c, sql: sql}, nil
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpPrepare, Ver: c.ver, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &remoteStmt{c: c, id: resp.StmtID}, nil
 }
 
 // Close terminates the connection.
@@ -59,3 +125,161 @@ func (c *Client) Close() error {
 	c.conn = nil
 	return err
 }
+
+// remoteStmt is a prepared statement living in a server session.
+type remoteStmt struct {
+	c      *Client
+	id     uint64
+	mu     sync.Mutex
+	closed bool
+}
+
+// Query starts a cursor on the statement. The ctx is checked between batch
+// fetches; cancelling it closes the statement server-side, freeing the
+// session's cursor and statement slot.
+func (s *remoteStmt) Query(ctx context.Context) (engine.RowIterator, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("server: %w", engine.ErrStmtClosed)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := s.c.roundTrip(&wire.Request{Op: wire.OpExecute, Ver: s.c.ver, StmtID: s.id, MaxRows: s.c.batch})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &remoteRows{
+		ctx:  ctx,
+		stmt: s,
+		cols: wire.ToColumns(resp.Columns),
+		cur:  wire.ToRows(resp.Rows),
+		eos:  resp.EOS,
+	}, nil
+}
+
+// Close frees the statement (and any open cursor) in the server session.
+func (s *remoteStmt) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	resp, err := s.c.roundTrip(&wire.Request{Op: wire.OpClose, Ver: s.c.ver, StmtID: s.id})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// remoteRows iterates a server-side cursor, one RowBatch frame per
+// NextBatch. A cancelled ctx (checked between fetches) closes the whole
+// statement so the server session frees its resources promptly.
+type remoteRows struct {
+	ctx  context.Context
+	stmt *remoteStmt
+	cols []engine.ResultColumn
+	cur  []types.Row
+	eos  bool
+	done bool
+	err  error
+}
+
+func (r *remoteRows) Columns() []engine.ResultColumn { return r.cols }
+
+func (r *remoteRows) NextBatch() ([]types.Row, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.cur != nil {
+		rows := r.cur
+		r.cur = nil
+		if len(rows) > 0 {
+			return rows, nil
+		}
+	}
+	if r.done || r.eos {
+		r.done = true
+		return nil, io.EOF
+	}
+	if err := r.ctx.Err(); err != nil {
+		// Cancelled between batches: free the server-side statement.
+		r.err = err
+		r.stmt.Close()
+		return nil, err
+	}
+	resp, err := r.stmt.c.roundTrip(&wire.Request{Op: wire.OpFetch, Ver: r.stmt.c.ver, StmtID: r.stmt.id, MaxRows: r.stmt.c.batch})
+	if err != nil {
+		r.err = fmt.Errorf("server: stream interrupted: %w", err)
+		return nil, r.err
+	}
+	if resp.Err != "" {
+		r.err = errors.New(resp.Err)
+		return nil, r.err
+	}
+	if resp.EOS {
+		r.done = true
+		if len(resp.Rows) > 0 {
+			return wire.ToRows(resp.Rows), nil
+		}
+		return nil, io.EOF
+	}
+	rows := wire.ToRows(resp.Rows)
+	if len(rows) == 0 {
+		// Defensive: a non-EOS empty frame would otherwise spin.
+		r.done = true
+		return nil, io.EOF
+	}
+	return rows, nil
+}
+
+// Close abandons the cursor. When the query context was cancelled, the
+// whole statement is closed so the server session frees its statement slot
+// (the cancellation contract); otherwise the cursor is reset server-side
+// and the statement stays prepared for re-execution. Either way the
+// session stops pinning the query's relation.
+func (r *remoteRows) Close() error {
+	if r.done || r.err != nil {
+		r.done = true
+		r.cur = nil
+		return nil
+	}
+	r.done = true
+	r.cur = nil
+	if r.ctx.Err() != nil {
+		return r.stmt.Close()
+	}
+	// Best effort: connection teardown covers a failed reset.
+	r.stmt.c.roundTrip(&wire.Request{Op: wire.OpReset, Ver: r.stmt.c.ver, StmtID: r.stmt.id})
+	return nil
+}
+
+// legacyStmt emulates a prepared statement against a v0 server: Query
+// executes single-shot and streams the materialized result locally.
+type legacyStmt struct {
+	c   *Client
+	sql string
+}
+
+func (s *legacyStmt) Query(ctx context.Context) (engine.RowIterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := s.c.ExecuteSQL(s.sql)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSliceIterator(res.Columns, res.Rows, 1024), nil
+}
+
+func (s *legacyStmt) Close() error { return nil }

@@ -2,10 +2,19 @@
 // engine (the demo's machine MSP). The server never receives key material;
 // it executes rewritten SQL whose only secrets are embedded tokens, and
 // returns encrypted results.
+//
+// Each connection is a session: a table of prepared statements and at most
+// one open cursor per statement, all bounded per connection. Session query
+// contexts derive from the server's base context, so dropping a connection
+// or closing the server cancels in-flight queries between batches instead
+// of abandoning their goroutines.
 package server
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"io"
 	"log"
 	"math/big"
 	"net"
@@ -13,16 +22,28 @@ import (
 
 	"sdb/internal/engine"
 	"sdb/internal/storage"
+	"sdb/internal/types"
 	"sdb/internal/wire"
 )
+
+// DefaultMaxSessionStmts bounds prepared statements (each with at most one
+// open cursor) per connection, so one client cannot grow a session table
+// without limit.
+const DefaultMaxSessionStmts = 64
 
 // Server accepts proxy connections and executes rewritten SQL.
 type Server struct {
 	eng *engine.Engine
+	// baseCtx parents every session's query contexts; baseCancel is the
+	// Close switch that aborts in-flight queries between batches.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// maxStmts bounds prepared statements per session.
+	maxStmts int
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	sessions map[net.Conn]*session
 	closed   bool
 }
 
@@ -34,14 +55,52 @@ func New(n *big.Int) *Server {
 // NewWithOptions is New with explicit engine execution options (chunked
 // parallel secure-operator evaluation).
 func NewWithOptions(n *big.Int, opts engine.Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		eng:   engine.NewWithOptions(storage.NewCatalog(), n, opts),
-		conns: make(map[net.Conn]struct{}),
+		eng:        engine.NewWithOptions(storage.NewCatalog(), n, opts),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		maxStmts:   DefaultMaxSessionStmts,
+		sessions:   make(map[net.Conn]*session),
 	}
 }
 
 // Engine exposes the underlying engine (attack-harness inspection).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// SetMaxSessionStmts bounds prepared statements per connection (<= 0
+// restores the default). Call before Serve.
+func (s *Server) SetMaxSessionStmts(n int) {
+	if n <= 0 {
+		n = DefaultMaxSessionStmts
+	}
+	s.maxStmts = n
+}
+
+// NumSessions reports the live connections (test introspection).
+func (s *Server) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// OpenStmts reports prepared statements across all sessions (test
+// introspection: disconnects and OpClose must drive this to zero).
+func (s *Server) OpenStmts() int {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		n += len(sess.stmts)
+		sess.mu.Unlock()
+	}
+	return n
+}
 
 // Listen binds the address and returns the bound address (useful with
 // ":0" in tests).
@@ -75,31 +134,118 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		sess := s.newSession()
 		s.mu.Lock()
-		s.conns[conn] = struct{}{}
+		if s.closed {
+			s.mu.Unlock()
+			sess.shutdown()
+			conn.Close()
+			return nil
+		}
+		s.sessions[conn] = sess
 		s.mu.Unlock()
-		go s.handle(conn)
+		go s.handle(conn, sess)
 	}
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections, cancelling every session's
+// in-flight query context.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
+	s.baseCancel()
 	if s.listener != nil {
 		s.listener.Close()
 	}
-	for c := range s.conns {
+	conns := make([]net.Conn, 0, len(s.sessions))
+	for c := range s.sessions {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
 		c.Close()
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+// session is the per-connection state: prepared statements, their open
+// cursors, and a context that parents every query the session runs.
+type session struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	stmts  map[uint64]*sessionStmt
+	nextID uint64
+}
+
+// sessionStmt is one prepared statement and its (optional) open cursor.
+type sessionStmt struct {
+	stmt *engine.Stmt
+	// cursor state; nil/empty when no execution is in flight.
+	it        engine.RowIterator
+	cancelQry context.CancelFunc
+	// pending buffers iterator rows left over when a client's MaxRows is
+	// smaller than the engine's batch.
+	pending []types.Row
+}
+
+// nextRows returns up to max rows (max <= 0 means one full engine batch),
+// drawing from the pending buffer before the iterator. It returns io.EOF
+// once the stream is exhausted.
+func (st *sessionStmt) nextRows(max int) ([]types.Row, error) {
+	if len(st.pending) == 0 {
+		batch, err := st.it.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		st.pending = batch
+	}
+	if max <= 0 || max >= len(st.pending) {
+		rows := st.pending
+		st.pending = nil
+		return rows, nil
+	}
+	rows := st.pending[:max]
+	st.pending = st.pending[max:]
+	return rows, nil
+}
+
+func (s *Server) newSession() *session {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	return &session{ctx: ctx, cancel: cancel, stmts: make(map[uint64]*sessionStmt)}
+}
+
+// shutdown cancels the session context and releases every statement.
+func (sess *session) shutdown() {
+	sess.cancel()
+	sess.mu.Lock()
+	stmts := sess.stmts
+	sess.stmts = make(map[uint64]*sessionStmt)
+	sess.mu.Unlock()
+	for _, st := range stmts {
+		st.closeCursor()
+	}
+}
+
+// closeCursor tears down an in-flight execution, if any.
+func (st *sessionStmt) closeCursor() {
+	if st.cancelQry != nil {
+		st.cancelQry()
+		st.cancelQry = nil
+	}
+	if st.it != nil {
+		st.it.Close()
+		st.it = nil
+	}
+	st.pending = nil
+}
+
+func (s *Server) handle(conn net.Conn, sess *session) {
 	defer func() {
 		conn.Close()
+		sess.shutdown()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.sessions, conn)
 		s.mu.Unlock()
 	}()
 	wc := wire.NewConn(conn)
@@ -108,7 +254,25 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return // connection closed
 		}
-		resp := s.execute(req)
+		var resp *wire.Response
+		switch req.Op {
+		case wire.OpExec:
+			resp = s.execute(req)
+		case wire.OpHello:
+			resp = &wire.Response{Ver: wire.ProtocolV1}
+		case wire.OpPrepare:
+			resp = s.prepare(sess, req)
+		case wire.OpExecute:
+			resp = s.executeStmt(sess, req)
+		case wire.OpFetch:
+			resp = s.fetch(sess, req)
+		case wire.OpClose:
+			resp = s.closeStmt(sess, req)
+		case wire.OpReset:
+			resp = s.resetStmt(sess, req)
+		default:
+			resp = &wire.Response{Ver: wire.ProtocolV1, Err: fmt.Sprintf("server: unknown op %d", req.Op)}
+		}
 		if err := wc.SendResponse(resp); err != nil {
 			log.Printf("server: send response: %v", err)
 			return
@@ -116,10 +280,123 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// execute is the v0 single-shot path: run the statement and materialize the
+// whole result into one frame.
 func (s *Server) execute(req *wire.Request) *wire.Response {
 	res, err := s.eng.ExecuteSQL(req.SQL)
 	if err != nil {
 		return &wire.Response{Err: err.Error()}
 	}
 	return wire.FromResult(res)
+}
+
+func (s *Server) prepare(sess *session, req *wire.Request) *wire.Response {
+	limitResp := &wire.Response{Ver: wire.ProtocolV1,
+		Err: fmt.Sprintf("server: session statement limit (%d) reached; close statements first", s.maxStmts)}
+	// Reject over-limit sessions before paying the parse, so a client at
+	// the bound cannot burn server CPU with rejected prepares.
+	sess.mu.Lock()
+	over := len(sess.stmts) >= s.maxStmts
+	sess.mu.Unlock()
+	if over {
+		return limitResp
+	}
+	stmt, err := s.eng.Prepare(req.SQL)
+	if err != nil {
+		return &wire.Response{Ver: wire.ProtocolV1, Err: err.Error()}
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if len(sess.stmts) >= s.maxStmts {
+		return limitResp
+	}
+	sess.nextID++
+	id := sess.nextID
+	sess.stmts[id] = &sessionStmt{stmt: stmt}
+	return &wire.Response{Ver: wire.ProtocolV1, StmtID: id}
+}
+
+func (sess *session) get(id uint64) (*sessionStmt, *wire.Response) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st, ok := sess.stmts[id]
+	if !ok {
+		return nil, &wire.Response{Ver: wire.ProtocolV1, Err: fmt.Sprintf("server: unknown statement id %d", id)}
+	}
+	return st, nil
+}
+
+// executeStmt starts (or restarts) a cursor and returns the first batch.
+func (s *Server) executeStmt(sess *session, req *wire.Request) *wire.Response {
+	st, errResp := sess.get(req.StmtID)
+	if errResp != nil {
+		return errResp
+	}
+	st.closeCursor()
+	qctx, cancel := context.WithCancel(sess.ctx)
+	it, err := st.stmt.Query(qctx)
+	if err != nil {
+		cancel()
+		return &wire.Response{Ver: wire.ProtocolV1, StmtID: req.StmtID, Err: err.Error()}
+	}
+	st.it = it
+	st.cancelQry = cancel
+	resp := s.nextFrame(st, req)
+	resp.Columns = wire.FromColumns(it.Columns())
+	return resp
+}
+
+// fetch returns the next batch of the statement's open cursor.
+func (s *Server) fetch(sess *session, req *wire.Request) *wire.Response {
+	st, errResp := sess.get(req.StmtID)
+	if errResp != nil {
+		return errResp
+	}
+	if st.it == nil {
+		return &wire.Response{Ver: wire.ProtocolV1, StmtID: req.StmtID,
+			Err: "server: no open cursor (Execute first)"}
+	}
+	return s.nextFrame(st, req)
+}
+
+// closeStmt frees a statement and its cursor.
+func (s *Server) closeStmt(sess *session, req *wire.Request) *wire.Response {
+	sess.mu.Lock()
+	st, ok := sess.stmts[req.StmtID]
+	delete(sess.stmts, req.StmtID)
+	sess.mu.Unlock()
+	if ok {
+		st.closeCursor()
+		st.stmt.Close()
+	}
+	return &wire.Response{Ver: wire.ProtocolV1, StmtID: req.StmtID}
+}
+
+// resetStmt abandons a statement's open cursor, keeping it prepared.
+func (s *Server) resetStmt(sess *session, req *wire.Request) *wire.Response {
+	st, errResp := sess.get(req.StmtID)
+	if errResp != nil {
+		return errResp
+	}
+	st.closeCursor()
+	return &wire.Response{Ver: wire.ProtocolV1, StmtID: req.StmtID}
+}
+
+// nextFrame pulls up to MaxRows rows from the cursor, carrying leftover
+// iterator rows across frames, and marks EOS on the final frame (closing
+// the cursor so the statement can be re-executed).
+func (s *Server) nextFrame(st *sessionStmt, req *wire.Request) *wire.Response {
+	resp := &wire.Response{Ver: wire.ProtocolV1, StmtID: req.StmtID}
+	batch, err := st.nextRows(req.MaxRows)
+	switch {
+	case err == io.EOF:
+		resp.EOS = true
+		st.closeCursor()
+	case err != nil:
+		st.closeCursor()
+		resp.Err = err.Error()
+	default:
+		resp.Rows = wire.FromRows(batch)
+	}
+	return resp
 }

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"math/big"
+	"testing"
+
+	"sdb/internal/types"
+)
+
+// FuzzValueRoundTrip checks that any value surviving the wire conversion
+// comes back equal: the share byte/sign flattening and the kind/scalar
+// fields must be lossless in both directions.
+func FuzzValueRoundTrip(f *testing.F) {
+	f.Add(uint8(1), int64(42), "x", []byte{0x01, 0x02}, false, true)
+	f.Add(uint8(6), int64(0), "", []byte{0xff, 0x00, 0x7f}, true, true)
+	f.Add(uint8(0), int64(-1), "null", []byte{}, false, false)
+	f.Add(uint8(200), int64(1<<62), "big", []byte{0x80}, true, true)
+	f.Fuzz(func(t *testing.T, k uint8, i int64, s string, b []byte, neg, isSet bool) {
+		v := types.Value{K: types.Kind(k), I: i, S: s}
+		if isSet {
+			v.B = new(big.Int).SetBytes(b)
+			if neg && v.B.Sign() != 0 {
+				v.B.Neg(v.B)
+			}
+		}
+		w := FromValue(v)
+		back := ToValue(w)
+		if back.K != v.K || back.I != v.I || back.S != v.S {
+			t.Fatalf("scalar fields diverged: %+v -> %+v", v, back)
+		}
+		switch {
+		case v.B == nil:
+			if back.B != nil {
+				t.Fatalf("nil big.Int came back as %v", back.B)
+			}
+		case back.B == nil:
+			t.Fatalf("big.Int %v lost", v.B)
+		case back.B.Cmp(v.B) != 0:
+			t.Fatalf("big.Int %v came back as %v", v.B, back.B)
+		}
+		// And the round trip must be idempotent at the wire layer.
+		if w2 := FromValue(back); w2.K != w.K || w2.I != w.I || w2.S != w.S || w2.BNeg != w.BNeg || w2.IsSet != w.IsSet {
+			t.Fatalf("wire form unstable: %+v vs %+v", w, w2)
+		}
+	})
+}

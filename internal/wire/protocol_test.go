@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"io"
+	"math/big"
+	"net"
+	"testing"
+
+	"sdb/internal/types"
+)
+
+// pipeConns builds two framed ends of an in-memory duplex stream.
+func pipeConns(t *testing.T) (*Conn, *Conn, func()) {
+	t.Helper()
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b), func() { a.Close(); b.Close() }
+}
+
+// TestV1RequestRoundTrip exercises every v1 op through the framed conn.
+func TestV1RequestRoundTrip(t *testing.T) {
+	client, server, closeFn := pipeConns(t)
+	defer closeFn()
+
+	reqs := []*Request{
+		{Op: OpHello, Ver: ProtocolV1},
+		{Op: OpPrepare, Ver: ProtocolV1, SQL: "SELECT a FROM t"},
+		{Op: OpExecute, Ver: ProtocolV1, StmtID: 3, MaxRows: 128},
+		{Op: OpFetch, Ver: ProtocolV1, StmtID: 3, MaxRows: 128},
+		{Op: OpReset, Ver: ProtocolV1, StmtID: 3},
+		{Op: OpClose, Ver: ProtocolV1, StmtID: 3},
+		{SQL: "SELECT 1"}, // v0 frame on the same stream
+	}
+	done := make(chan error, 1)
+	go func() {
+		for _, want := range reqs {
+			got, err := server.ReadRequest()
+			if err != nil {
+				done <- err
+				return
+			}
+			if *got != *want {
+				t.Errorf("round trip: got %+v, want %+v", got, want)
+			}
+		}
+		done <- nil
+	}()
+	for _, req := range reqs {
+		if err := client.SendRequest(req); err != nil {
+			t.Fatalf("send %v: %v", req.Op, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowBatchResponseRoundTrip checks a streamed response frame with rows
+// and the end-of-stream marker, including share values.
+func TestRowBatchResponseRoundTrip(t *testing.T) {
+	client, server, closeFn := pipeConns(t)
+	defer closeFn()
+
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("x"), types.NewShare(big.NewInt(123456789))},
+		{types.NewInt(2), types.Null, types.NewShare(new(big.Int).Lsh(big.NewInt(7), 200))},
+	}
+	want := &Response{
+		Ver:     ProtocolV1,
+		StmtID:  9,
+		Columns: []Column{{Name: "a", Kind: 1}, {Name: "b", Kind: 4}, {Name: "c", Kind: 6}},
+		Rows:    FromRows(rows),
+		EOS:     true,
+	}
+	done := make(chan *Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		got, err := client.ReadResponse()
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- got
+	}()
+	if err := server.SendResponse(want); err != nil {
+		t.Fatal(err)
+	}
+	var got *Response
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	case got = <-done:
+	}
+	if got.Ver != want.Ver || got.StmtID != want.StmtID || !got.EOS {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	back := ToRows(got.Rows)
+	for r := range rows {
+		for c := range rows[r] {
+			if !back[r][c].Equal(rows[r][c]) {
+				t.Fatalf("row %d col %d: %v != %v", r, c, back[r][c], rows[r][c])
+			}
+		}
+	}
+}
+
+// legacyRequest is the v0 frame shape: SQL only. Encoding it and decoding
+// into the current Request must yield Op == OpExec — the compatibility
+// contract that keeps old proxies working against new servers.
+type legacyRequest struct {
+	SQL string
+}
+
+func TestLegacyRequestDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacyRequest{SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	var req Request
+	if err := gob.NewDecoder(&buf).Decode(&req); err != nil {
+		t.Fatalf("decode legacy frame: %v", err)
+	}
+	if req.Op != OpExec || req.Ver != ProtocolV0 || req.SQL != "SELECT 1" {
+		t.Fatalf("legacy frame decoded as %+v", req)
+	}
+}
+
+// legacyResponse is the v0 response shape; a v1 response must decode into
+// it (extra fields ignored), keeping new servers compatible with old
+// proxies on the single-shot path.
+type legacyResponse struct {
+	Err     string
+	Columns []Column
+	Rows    [][]Value
+}
+
+func TestV1ResponseDecodesAsLegacy(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(&Response{
+		Ver:     ProtocolV1,
+		StmtID:  4,
+		EOS:     true,
+		Columns: []Column{{Name: "a", Kind: 1}},
+		Rows:    [][]Value{{{K: 1, I: 42}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	var legacy legacyResponse
+	if err := gob.NewDecoder(&buf).Decode(&legacy); err != nil {
+		t.Fatalf("legacy decode of v1 response: %v", err)
+	}
+	if len(legacy.Rows) != 1 || legacy.Rows[0][0].I != 42 {
+		t.Fatalf("legacy view lost data: %+v", legacy)
+	}
+}
+
+// TestOpStrings pins the op code labels used in error messages.
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpExec: "Exec", OpHello: "Hello", OpPrepare: "Prepare",
+		OpExecute: "Execute", OpFetch: "Fetch", OpClose: "Close", OpReset: "Reset",
+		Op(99): "Op(99)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+// TestReadRequestEOF pins clean stream termination.
+func TestReadRequestEOF(t *testing.T) {
+	c := NewConn(readWriter{bytes.NewReader(nil), io.Discard})
+	if _, err := c.ReadRequest(); err != io.EOF {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+}
+
+type readWriter struct {
+	io.Reader
+	io.Writer
+}

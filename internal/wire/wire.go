@@ -2,6 +2,18 @@
 // (machine MDO in the demo) and the service provider's engine (machine
 // MSP). Requests carry rewritten SQL text; responses carry encrypted
 // result tables. Encoding is gob with big.Ints serialised as bytes.
+//
+// Two protocol versions share the frame types. Version 0 is the original
+// single-shot exchange: a Request carrying only SQL, answered by one
+// Response carrying the whole result. Version 1 adds sessions and
+// streaming: OpHello negotiates the version, OpPrepare registers a
+// statement, OpExecute starts a cursor and returns the first RowBatch
+// frame (a Response with Rows plus an EOS end-of-stream marker), OpFetch
+// pulls subsequent batches, and OpClose frees the statement. Because gob
+// omits zero-valued fields and ignores unknown ones, a v0 Request decodes
+// on a v1 server as Op == OpExec, and a v1 Hello decodes on a v0 server as
+// an (erroring) single-shot — which the dialer detects and treats as
+// "legacy server", falling back to v0 framing.
 package wire
 
 import (
@@ -15,9 +27,72 @@ import (
 	"sdb/internal/types"
 )
 
-// Request is one statement execution request.
+// Protocol versions. ProtocolV1 adds sessions, prepared statements and
+// chunked row streaming.
+const (
+	ProtocolV0 uint8 = 0
+	ProtocolV1 uint8 = 1
+)
+
+// Op selects the request type. The zero value is the legacy single-shot
+// execute so v0 frames decode unchanged.
+type Op uint8
+
+const (
+	// OpExec is the v0 single-shot: execute SQL, answer with the whole
+	// result in one Response.
+	OpExec Op = iota
+	// OpHello negotiates the protocol version; the response carries the
+	// highest version the server speaks.
+	OpHello
+	// OpPrepare parses SQL into a session statement; the response carries
+	// the statement id.
+	OpPrepare
+	// OpExecute starts (or restarts) a cursor on a prepared statement and
+	// returns the first row batch.
+	OpExecute
+	// OpFetch returns the next row batch of the statement's open cursor.
+	OpFetch
+	// OpClose frees a prepared statement and its cursor.
+	OpClose
+	// OpReset closes a statement's open cursor (abandoning the stream)
+	// while keeping the statement prepared for re-execution.
+	OpReset
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpExec:
+		return "Exec"
+	case OpHello:
+		return "Hello"
+	case OpPrepare:
+		return "Prepare"
+	case OpExecute:
+		return "Execute"
+	case OpFetch:
+		return "Fetch"
+	case OpClose:
+		return "Close"
+	case OpReset:
+		return "Reset"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is one client frame. Only SQL is set in v0; v1 frames add the
+// op code, negotiated version and statement addressing.
 type Request struct {
 	SQL string
+	// Op is the v1 request type; zero (OpExec) on legacy frames.
+	Op Op
+	// Ver is the protocol version the client speaks (OpHello) or assumes.
+	Ver uint8
+	// StmtID addresses a prepared statement (OpExecute/OpFetch/OpClose).
+	StmtID uint64
+	// MaxRows caps the rows per returned batch; 0 means server default.
+	MaxRows int
 }
 
 // Value is the wire form of types.Value (big.Int flattened to bytes).
@@ -30,11 +105,19 @@ type Value struct {
 	IsSet bool // distinguishes a zero big.Int from absent
 }
 
-// Response is the outcome of one request.
+// Response is one server frame: the whole result (v0), or a negotiated
+// version (OpHello), a statement id (OpPrepare), or one RowBatch of an
+// open cursor (OpExecute/OpFetch) whose last frame carries EOS.
 type Response struct {
 	Err     string
 	Columns []Column
 	Rows    [][]Value
+	// Ver echoes the server's protocol version on v1 frames.
+	Ver uint8
+	// StmtID echoes the addressed statement (OpPrepare assigns it).
+	StmtID uint64
+	// EOS marks the final batch of a cursor's stream.
+	EOS bool
 }
 
 // Column mirrors engine.ResultColumn.
@@ -66,18 +149,58 @@ func ToValue(w Value) types.Value {
 	return v
 }
 
-// FromResult converts an engine result for the wire.
-func FromResult(r *engine.Result) *Response {
-	resp := &Response{}
-	for _, c := range r.Columns {
-		resp.Columns = append(resp.Columns, Column{Name: c.Name, Kind: uint8(c.Kind)})
+// FromColumns converts engine column descriptors to their wire form.
+func FromColumns(cols []engine.ResultColumn) []Column {
+	out := make([]Column, len(cols))
+	for i, c := range cols {
+		out[i] = Column{Name: c.Name, Kind: uint8(c.Kind)}
 	}
-	for _, row := range r.Rows {
+	return out
+}
+
+// ToColumns converts wire columns back to engine descriptors.
+func ToColumns(cols []Column) []engine.ResultColumn {
+	out := make([]engine.ResultColumn, len(cols))
+	for i, c := range cols {
+		out[i] = engine.ResultColumn{Name: c.Name, Kind: types.Kind(c.Kind)}
+	}
+	return out
+}
+
+// FromRows converts a batch of engine rows to the wire form.
+func FromRows(rows []types.Row) [][]Value {
+	out := make([][]Value, len(rows))
+	for r, row := range rows {
 		wr := make([]Value, len(row))
 		for i, v := range row {
 			wr[i] = FromValue(v)
 		}
-		resp.Rows = append(resp.Rows, wr)
+		out[r] = wr
+	}
+	return out
+}
+
+// ToRows converts a wire batch back to engine rows.
+func ToRows(rows [][]Value) []types.Row {
+	out := make([]types.Row, len(rows))
+	for r, wr := range rows {
+		row := make(types.Row, len(wr))
+		for i, w := range wr {
+			row[i] = ToValue(w)
+		}
+		out[r] = row
+	}
+	return out
+}
+
+// FromResult converts an engine result for the wire.
+func FromResult(r *engine.Result) *Response {
+	resp := &Response{}
+	if len(r.Columns) > 0 {
+		resp.Columns = FromColumns(r.Columns)
+	}
+	if len(r.Rows) > 0 {
+		resp.Rows = FromRows(r.Rows)
 	}
 	return resp
 }
@@ -85,15 +208,11 @@ func FromResult(r *engine.Result) *Response {
 // ToResult converts a response back into an engine result.
 func ToResult(resp *Response) *engine.Result {
 	r := &engine.Result{}
-	for _, c := range resp.Columns {
-		r.Columns = append(r.Columns, engine.ResultColumn{Name: c.Name, Kind: types.Kind(c.Kind)})
+	if len(resp.Columns) > 0 {
+		r.Columns = ToColumns(resp.Columns)
 	}
-	for _, wr := range resp.Rows {
-		row := make(types.Row, len(wr))
-		for i, w := range wr {
-			row[i] = ToValue(w)
-		}
-		r.Rows = append(r.Rows, row)
+	if len(resp.Rows) > 0 {
+		r.Rows = ToRows(resp.Rows)
 	}
 	return r
 }

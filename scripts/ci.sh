@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# CI gate: static checks, the full test suite, and the race detector over
-# every package (the chunked parallel engine/proxy paths and the bigmod
-# fixed-base cache are exercised by dedicated concurrency tests).
+# CI gate: static checks, the full test suite, the race detector over
+# every package (the chunked parallel engine/proxy paths, the streaming
+# cursor pipeline and the bigmod fixed-base cache are exercised by
+# dedicated concurrency tests), and a short fuzz smoke over every fuzz
+# target (parser, proxy pipeline, wire encoding).
 #
 # Usage: scripts/ci.sh [-short]
 #   -short   skip the slow end-to-end suites (integration differential,
-#            rewriter differential fuzz) — useful for pre-commit runs.
+#            rewriter differential fuzz) and the fuzz smoke — useful for
+#            pre-commit runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SHORT_FLAG=""
 if [[ "${1:-}" == "-short" ]]; then
   SHORT_FLAG="-short"
+fi
+
+echo "== gofmt"
+UNFMT=$(gofmt -l .)
+if [[ -n "${UNFMT}" ]]; then
+  echo "gofmt needed on:" ${UNFMT}
+  exit 1
 fi
 
 echo "== go vet"
@@ -25,5 +35,13 @@ go test ${SHORT_FLAG} ./...
 
 echo "== go test -race"
 go test -race ${SHORT_FLAG} ./...
+
+if [[ -z "${SHORT_FLAG}" ]]; then
+  echo "== fuzz smoke (10s per target)"
+  go test -run xxx -fuzz FuzzLex        -fuzztime 10s ./internal/sqlparser
+  go test -run xxx -fuzz FuzzParse      -fuzztime 10s ./internal/sqlparser
+  go test -run xxx -fuzz FuzzExecSelect -fuzztime 10s ./internal/proxy
+  go test -run xxx -fuzz FuzzValueRoundTrip -fuzztime 10s ./internal/wire
+fi
 
 echo "CI OK"
