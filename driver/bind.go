@@ -1,0 +1,120 @@
+package driver
+
+import (
+	sqldriver "database/sql/driver"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Placeholder binding: `?` markers are substituted client-side with SQL
+// literals before the statement reaches the proxy. Encryption of sensitive
+// values happens at the proxy's rewrite stage regardless of how the literal
+// got into the text, so client-side substitution costs nothing in security
+// while letting one prepared INSERT/SELECT run many times with different
+// arguments.
+//
+// The scanner mirrors the sdb lexer: '…' strings escape quotes by doubling
+// and `--` comments run to end of line, so a ? inside either is literal
+// text, and string arguments are quoted by doubling embedded quotes —
+// there is no way for an argument value to terminate its own literal.
+
+// countPlaceholders reports the number of ? parameter markers in query.
+func countPlaceholders(query string) int {
+	n := 0
+	scanPlaceholders(query, func(int) { n++ })
+	return n
+}
+
+// scanPlaceholders calls fn with the byte offset of every ? marker outside
+// string literals and comments.
+func scanPlaceholders(query string, fn func(pos int)) {
+	for i := 0; i < len(query); i++ {
+		switch query[i] {
+		case '\'':
+			// String literal: '' is an escaped quote, not a terminator.
+			for i++; i < len(query); i++ {
+				if query[i] == '\'' {
+					if i+1 < len(query) && query[i+1] == '\'' {
+						i++
+						continue
+					}
+					break
+				}
+			}
+		case '-':
+			if i+1 < len(query) && query[i+1] == '-' {
+				for i < len(query) && query[i] != '\n' {
+					i++
+				}
+			}
+		case '?':
+			fn(i)
+		}
+	}
+}
+
+// bindPlaceholders substitutes the i-th ? with the rendering of args[i].
+func bindPlaceholders(query string, args []sqldriver.NamedValue) (string, error) {
+	var positions []int
+	scanPlaceholders(query, func(pos int) { positions = append(positions, pos) })
+	if len(positions) != len(args) {
+		return "", fmt.Errorf("sdb: statement has %d placeholders, got %d arguments", len(positions), len(args))
+	}
+	var sb strings.Builder
+	sb.Grow(len(query))
+	last := 0
+	for i, pos := range positions {
+		sb.WriteString(query[last:pos])
+		lit, err := renderLiteral(args[i].Value)
+		if err != nil {
+			return "", fmt.Errorf("sdb: argument %d: %w", i+1, err)
+		}
+		sb.WriteString(lit)
+		last = pos + 1
+	}
+	sb.WriteString(query[last:])
+	return sb.String(), nil
+}
+
+// renderLiteral converts one driver.Value into SQL literal text.
+func renderLiteral(v sqldriver.Value) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "NULL", nil
+	case int64:
+		return strconv.FormatInt(x, 10), nil
+	case float64:
+		// Minimal digits. The SQL dialect reads a decimal literal's scale
+		// from its digit count, so arguments for DECIMAL(s) columns must
+		// carry s fractional digits (10.55 for scale 2; 10.5 would store a
+		// scale-1 value).
+		return strconv.FormatFloat(x, 'f', -1, 64), nil
+	case bool:
+		if x {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case string:
+		return quoteString(x), nil
+	case time.Time:
+		// The civil date in the value's own location — converting to UTC
+		// first would shift dates for non-UTC midnights.
+		return "DATE '" + x.Format("2006-01-02") + "'", nil
+	case []byte:
+		// Hex literals carry SDB shares and tokens.
+		if len(x) == 0 {
+			return "0x0", nil
+		}
+		return "0x" + hex.EncodeToString(x), nil
+	default:
+		return "", fmt.Errorf("unsupported argument type %T", v)
+	}
+}
+
+// quoteString renders a SQL string literal, doubling embedded quotes.
+func quoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

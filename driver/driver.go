@@ -17,9 +17,11 @@
 // connections are views onto the same session state. Use OpenDB to wrap an
 // already-configured *proxy.Proxy instead of a DSN.
 //
-// Placeholder parameters are not supported yet; statements must be
-// self-contained SQL. Transactions are not supported (SDB has no
-// multi-statement atomicity).
+// Placeholder parameters (`?`) are bound client-side: arguments are
+// rendered as SQL literals (with quote doubling for strings) and
+// substituted before the statement reaches the proxy, where sensitive
+// literals are encrypted during the rewrite as usual. Transactions are not
+// supported (SDB has no multi-statement atomicity).
 package driver
 
 import (
@@ -196,11 +198,17 @@ func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt
 	if c.closed {
 		return nil, sqldriver.ErrBadConn
 	}
+	// Parameterized statements bind at execution time (the bound text
+	// differs per call), so the proxy-side prepare is deferred until then;
+	// parameterless statements prepare eagerly and reuse their rewrite.
+	if n := countPlaceholders(query); n > 0 {
+		return &stmt{p: c.p, query: query, numInput: n}, nil
+	}
 	ps, err := c.p.PrepareContext(ctx, query)
 	if err != nil {
 		return nil, err
 	}
-	return &stmt{ps: ps}, nil
+	return &stmt{p: c.p, query: query, ps: ps}, nil
 }
 
 func (c *conn) Close() error {
@@ -213,10 +221,13 @@ func (c *conn) Begin() (sqldriver.Tx, error) {
 }
 
 // QueryContext lets database/sql skip the prepared-statement dance for
-// one-shot queries.
+// one-shot queries; placeholder arguments bind client-side first.
 func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
 	if len(args) > 0 {
-		return nil, errors.New("sdb: placeholder arguments are not supported")
+		var err error
+		if query, err = bindPlaceholders(query, args); err != nil {
+			return nil, err
+		}
 	}
 	r, err := c.p.QueryContext(ctx, query)
 	if err != nil {
@@ -228,7 +239,10 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 // ExecContext executes one-shot statements.
 func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
 	if len(args) > 0 {
-		return nil, errors.New("sdb: placeholder arguments are not supported")
+		var err error
+		if query, err = bindPlaceholders(query, args); err != nil {
+			return nil, err
+		}
 	}
 	res, err := c.p.ExecContext(ctx, query)
 	if err != nil {
@@ -237,26 +251,55 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.N
 	return result{res: res}, nil
 }
 
-// stmt adapts proxy.Stmt to database/sql/driver.
+// stmt adapts a prepared statement to database/sql/driver. Parameterless
+// statements hold a proxy-side prepared statement (ps); parameterized ones
+// re-bind their text per execution and run through the one-shot path.
 type stmt struct {
-	ps *proxy.Stmt
+	p        *proxy.Proxy
+	query    string
+	numInput int
+	ps       *proxy.Stmt // nil when numInput > 0
 }
 
-func (s *stmt) Close() error { return s.ps.Close() }
+func (s *stmt) Close() error {
+	if s.ps != nil {
+		return s.ps.Close()
+	}
+	return nil
+}
 
-// NumInput is 0: placeholder arguments are not supported, and database/sql
-// enforces the zero-argument contract for us.
-func (s *stmt) NumInput() int { return 0 }
+// NumInput is the placeholder count; database/sql enforces the argument
+// arity contract for us.
+func (s *stmt) NumInput() int { return s.numInput }
 
 func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
-	return s.ExecContext(context.Background(), nil)
+	return s.ExecContext(context.Background(), namedValues(args))
 }
 
 func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
-	return s.QueryContext(context.Background(), nil)
+	return s.QueryContext(context.Background(), namedValues(args))
+}
+
+func namedValues(args []sqldriver.Value) []sqldriver.NamedValue {
+	out := make([]sqldriver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = sqldriver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
 }
 
 func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	if s.ps == nil {
+		query, err := bindPlaceholders(s.query, args)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.p.ExecContext(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		return result{res: res}, nil
+	}
 	res, err := s.ps.ExecContext(ctx)
 	if err != nil {
 		return nil, err
@@ -265,6 +308,17 @@ func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sq
 }
 
 func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	if s.ps == nil {
+		query, err := bindPlaceholders(s.query, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.p.QueryContext(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		return &rows{r: r, cols: r.Columns()}, nil
+	}
 	r, err := s.ps.QueryContext(ctx)
 	if err != nil {
 		return nil, err

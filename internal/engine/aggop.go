@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sdb/internal/parallel"
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// aggGroup is one group's accumulated state: its key values, the global
+// index of its first row (for deterministic first-encounter output order)
+// and one transition state per aggregate.
+type aggGroup struct {
+	keyVals  []types.Value
+	firstIdx int
+	states   []aggState
+}
+
+// hashAggOp is streaming hash aggregation: input batches drain at open into
+// per-partition grouped state tables, which merge into one table whose
+// groups emit in first-encounter order. Retained memory is O(#groups), not
+// O(#input rows).
+//
+// Parallel shape: each input batch is split into one contiguous range per
+// pool worker; a partition folds its range into its own state table (key
+// evaluation, aggregate-argument evaluation — the secure-UDF hot path —
+// and the state transitions, including the sdb_min/sdb_max masked-
+// comparison tournament, all run inside the partition). The per-partition
+// tables merge pairwise at the end; every transition and merge is
+// deterministic, so the result is bit-identical to the serial fold.
+type hashAggOp struct {
+	e        *Engine
+	child    operator
+	schema   []relCol
+	keyExprs []compiledExpr
+	specs    []aggSpec
+	groupBy  bool
+	batch    int
+
+	ctx     context.Context
+	win     rowWindow
+	ngroups int
+	drained bool
+	peak    residentPeak
+}
+
+func (op *hashAggOp) columns() []relCol { return op.schema }
+
+func (op *hashAggOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	if err := op.child.open(ctx); err != nil {
+		return err
+	}
+	return op.drain()
+}
+
+func (op *hashAggOp) newGroup(keyVals []types.Value, firstIdx int) (*aggGroup, error) {
+	g := &aggGroup{keyVals: keyVals, firstIdx: firstIdx, states: make([]aggState, len(op.specs))}
+	for i := range op.specs {
+		st, err := op.specs[i].newState()
+		if err != nil {
+			return nil, err
+		}
+		g.states[i] = st
+	}
+	return g, nil
+}
+
+// drain consumes the child and builds the grouped state tables.
+func (op *hashAggOp) drain() error {
+	if op.drained {
+		return nil
+	}
+	op.drained = true
+	nparts := op.e.pool.Workers()
+	if nparts < 1 {
+		nparts = 1
+	}
+	// partials[p] is owned exclusively by partition p across all batches.
+	partials := make([]map[string]*aggGroup, nparts)
+	base := 0
+	for {
+		if err := op.ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := op.child.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		// One contiguous chunk per partition: chunk index == partition id.
+		chunk := (len(batch) + nparts - 1) / nparts
+		err = parallel.New(nparts, chunk).ForEachChunk(len(batch), func(p, lo, hi int) error {
+			tbl := partials[p]
+			if tbl == nil {
+				tbl = make(map[string]*aggGroup)
+				partials[p] = tbl
+			}
+			for i := lo; i < hi; i++ {
+				row := batch[i]
+				keyVals := make([]types.Value, len(op.keyExprs))
+				var sb strings.Builder
+				for j, ke := range op.keyExprs {
+					v, err := ke(row)
+					if err != nil {
+						return err
+					}
+					keyVals[j] = v
+					appendKeyPart(&sb, v)
+				}
+				key := sb.String()
+				g := tbl[key]
+				if g == nil {
+					ng, err := op.newGroup(keyVals, base+i)
+					if err != nil {
+						return err
+					}
+					g = ng
+					tbl[key] = g
+				}
+				for si := range op.specs {
+					vals, err := op.specs[si].evalArgs(row)
+					if err != nil {
+						return err
+					}
+					if err := g.states[si].add(vals); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		base += len(batch)
+		groups := 0
+		for _, tbl := range partials {
+			groups += len(tbl)
+		}
+		op.peak.latch(groups + len(batch) + op.child.resident())
+	}
+	op.child.close()
+	return op.finalize(partials)
+}
+
+// finalize merges partition tables in partition order and emits groups in
+// first-encounter order.
+func (op *hashAggOp) finalize(partials []map[string]*aggGroup) error {
+	final := make(map[string]*aggGroup)
+	for _, tbl := range partials {
+		for k, g := range tbl {
+			f := final[k]
+			if f == nil {
+				final[k] = g
+				continue
+			}
+			if g.firstIdx < f.firstIdx {
+				f.firstIdx = g.firstIdx
+			}
+			for si := range f.states {
+				if err := f.states[si].merge(g.states[si]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	groups := make([]*aggGroup, 0, len(final))
+	for _, g := range final {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].firstIdx < groups[j].firstIdx })
+
+	// Global aggregation over empty input still yields one group.
+	if len(groups) == 0 && !op.groupBy {
+		g, err := op.newGroup(nil, 0)
+		if err != nil {
+			return err
+		}
+		groups = append(groups, g)
+	}
+
+	op.win = rowWindow{rows: make([]types.Row, len(groups)), batch: op.batch}
+	op.ngroups = len(groups)
+	for gi, g := range groups {
+		row := make(types.Row, 0, len(op.schema))
+		row = append(row, g.keyVals...)
+		for _, st := range g.states {
+			v, err := st.final()
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		op.win.rows[gi] = row
+	}
+	return nil
+}
+
+func (op *hashAggOp) next() ([]types.Row, error) {
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return op.win.next()
+}
+
+func (op *hashAggOp) close() error {
+	op.resident() // latch the final state before releasing it
+	op.win = rowWindow{}
+	op.ngroups = 0
+	return op.child.close()
+}
+
+func (op *hashAggOp) resident() int {
+	return op.peak.latch(op.ngroups + op.child.resident())
+}
+
+// planAggregate builds the aggregation operator over child for GROUP BY +
+// aggregate calls, and returns (1) the operator, whose output columns are
+// the group keys then the aggregate results, and (2) a rewritten Select
+// whose expressions reference those columns instead of aggregate calls.
+func (e *Engine) planAggregate(child operator, s *sqlparser.Select, aggs []*sqlparser.FuncCall) (operator, *sqlparser.Select, error) {
+	rel := &relation{cols: child.columns()}
+	ctx := e.evalCtx()
+
+	keyExprs := make([]compiledExpr, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		var err error
+		if keyExprs[i], err = compile(g, rel, ctx); err != nil {
+			return nil, nil, err
+		}
+	}
+	specs, err := e.compileAggSpecs(aggs, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Output schema: one column per group-by expr, one per aggregate.
+	var schema []relCol
+	subst := make(map[string]sqlparser.ColRef)
+	for i, g := range s.GroupBy {
+		name := fmt.Sprintf("_g%d", i)
+		schema = append(schema, relCol{name: name})
+		subst[g.String()] = sqlparser.ColRef{Name: name}
+	}
+	for i, spec := range specs {
+		name := fmt.Sprintf("_a%d", i)
+		schema = append(schema, relCol{name: name})
+		subst[spec.call.String()] = sqlparser.ColRef{Name: name}
+	}
+
+	op := &hashAggOp{
+		e: e, child: child, schema: schema,
+		keyExprs: keyExprs, specs: specs,
+		groupBy: len(s.GroupBy) > 0,
+		batch:   e.batchRows(),
+	}
+
+	// Rewrite the Select to reference the aggregated columns.
+	rs := &sqlparser.Select{
+		Distinct: s.Distinct,
+		Limit:    s.Limit,
+	}
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, nil, fmt.Errorf("engine: SELECT * is not valid with GROUP BY")
+		}
+		alias := item.Alias
+		if alias == "" {
+			// Substitution renames columns to _gN/_aN; keep the original
+			// user-visible name for the output schema.
+			if cr, ok := item.Expr.(sqlparser.ColRef); ok {
+				alias = cr.Name
+			}
+		}
+		rs.Items = append(rs.Items, sqlparser.SelectItem{
+			Expr:  substExpr(item.Expr, subst),
+			Alias: alias,
+		})
+	}
+	if s.Having != nil {
+		rs.Having = substExpr(s.Having, subst)
+	}
+	for _, o := range s.OrderBy {
+		rs.OrderBy = append(rs.OrderBy, sqlparser.OrderItem{Expr: substExpr(o.Expr, subst), Desc: o.Desc})
+	}
+	return op, rs, nil
+}

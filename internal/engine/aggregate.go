@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
-	"sync/atomic"
 
-	"sdb/internal/parallel"
 	"sdb/internal/secure"
 	"sdb/internal/sqlparser"
 	"sdb/internal/types"
@@ -88,331 +86,155 @@ func collectAggregates(s *sqlparser.Select) []*sqlparser.FuncCall {
 	return out
 }
 
-// aggregate executes GROUP BY + aggregates and returns (1) the aggregated
-// relation whose columns are the group keys and aggregate results, and (2)
-// a rewritten Select whose expressions reference those columns instead of
-// aggregate calls.
-func (e *Engine) aggregate(rel *relation, s *sqlparser.Select, aggs []*sqlparser.FuncCall) (*relation, *sqlparser.Select, error) {
+// aggSpec is one compiled aggregate call: its argument expressions plus,
+// for sdb_min/sdb_max, the constant reveal token and modulus.
+type aggSpec struct {
+	call *sqlparser.FuncCall
+	name string // lower-cased function name
+	args []compiledExpr
+	p, n types.Value // for sdb_min/sdb_max
+	eng  *Engine
+}
+
+// compileAggSpecs binds each aggregate's arguments against the input schema.
+func (e *Engine) compileAggSpecs(aggs []*sqlparser.FuncCall, rel *relation) ([]aggSpec, error) {
 	ctx := e.evalCtx()
-
-	// Compile group-by keys.
-	keyExprs := make([]compiledExpr, len(s.GroupBy))
-	for i, g := range s.GroupBy {
-		var err error
-		if keyExprs[i], err = compile(g, rel, ctx); err != nil {
-			return nil, nil, err
-		}
-	}
-
-	// Compile aggregate argument expressions.
-	type aggSpec struct {
-		call *sqlparser.FuncCall
-		name string // lower-cased function name
-		args []compiledExpr
-		p, n types.Value // for sdb_min/sdb_max
-	}
 	specs := make([]aggSpec, len(aggs))
 	for i, a := range aggs {
-		spec := aggSpec{call: a, name: strings.ToLower(a.Name)}
+		spec := aggSpec{call: a, name: strings.ToLower(a.Name), eng: e}
 		if spec.name == "sdb_min" || spec.name == "sdb_max" {
 			if len(a.Args) != 4 {
-				return nil, nil, fmt.Errorf("engine: %s expects (tag, mtag, p, n)", spec.name)
+				return nil, fmt.Errorf("engine: %s expects (tag, mtag, p, n)", spec.name)
 			}
 			for _, arg := range a.Args[:2] {
 				ce, err := compile(arg, rel, ctx)
 				if err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 				spec.args = append(spec.args, ce)
 			}
 			var err error
 			if spec.p, err = evalConst(a.Args[2], ctx); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			if spec.n, err = evalConst(a.Args[3], ctx); err != nil {
-				return nil, nil, err
+				return nil, err
+			}
+			if spec.p.K != types.KindShare || spec.n.K != types.KindShare {
+				return nil, fmt.Errorf("engine: sdb_min/sdb_max need hex p and n")
 			}
 		} else if !a.Star {
 			for _, arg := range a.Args {
 				ce, err := compile(arg, rel, ctx)
 				if err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 				spec.args = append(spec.args, ce)
 			}
 		}
 		specs[i] = spec
 	}
-
-	// Group rows. Key expressions are evaluated in parallel chunks (group
-	// keys over sensitive columns are flat-key UDF tags); the map insert
-	// that assigns rows to groups stays serial to preserve first-encounter
-	// group order.
-	type group struct {
-		key  []types.Value
-		rows []types.Row
-	}
-	rowKeys := make([]string, len(rel.rows))
-	rowKeyVals := make([][]types.Value, len(rel.rows))
-	err := e.pool.ForEachChunk(len(rel.rows), func(_, lo, hi int) error {
-		for r := lo; r < hi; r++ {
-			keyVals := make([]types.Value, len(keyExprs))
-			var sb strings.Builder
-			for i, ke := range keyExprs {
-				v, err := ke(rel.rows[r])
-				if err != nil {
-					return err
-				}
-				keyVals[i] = v
-				sb.WriteString(v.GroupKey())
-				sb.WriteByte('|')
-			}
-			rowKeys[r] = sb.String()
-			rowKeyVals[r] = keyVals
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	groups := make(map[string]*group)
-	var order []string
-	for r, row := range rel.rows {
-		k := rowKeys[r]
-		g, ok := groups[k]
-		if !ok {
-			g = &group{key: rowKeyVals[r]}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.rows = append(g.rows, row)
-	}
-	// Global aggregation over empty input still yields one group.
-	if len(groups) == 0 && len(s.GroupBy) == 0 {
-		k := ""
-		groups[k] = &group{}
-		order = append(order, k)
-	}
-
-	// Build output relation: one column per group-by expr, one per agg.
-	out := &relation{}
-	subst := make(map[string]sqlparser.ColRef)
-	for i, g := range s.GroupBy {
-		name := fmt.Sprintf("_g%d", i)
-		out.cols = append(out.cols, relCol{name: name})
-		subst[g.String()] = sqlparser.ColRef{Name: name}
-	}
-	for i, spec := range specs {
-		name := fmt.Sprintf("_a%d", i)
-		out.cols = append(out.cols, relCol{name: name})
-		subst[spec.call.String()] = sqlparser.ColRef{Name: name}
-	}
-
-	// Aggregate evaluation: with many groups, parallelise across groups
-	// (one worker per group chunk); with a single group — the global
-	// aggregate shape of TPC-H Q6 — computeAggregate parallelises within
-	// the group via chunked partial sums / local extremes instead.
-	withinGroup := len(order) == 1
-	out.rows = make([]types.Row, len(order))
-	buildGroup := func(gi int) error {
-		g := groups[order[gi]]
-		row := make(types.Row, 0, len(out.cols))
-		row = append(row, g.key...)
-		for _, spec := range specs {
-			v, err := e.computeAggregate(spec.name, spec.call, spec.args, spec.p, spec.n, g.rows, withinGroup)
-			if err != nil {
-				return err
-			}
-			row = append(row, v)
-		}
-		out.rows[gi] = row
-		return nil
-	}
-	if withinGroup {
-		if err := buildGroup(0); err != nil {
-			return nil, nil, err
-		}
-	} else {
-		groupPool := parallel.New(e.pool.Workers(), 1)
-		err := groupPool.ForEachChunk(len(order), func(_, lo, hi int) error {
-			for gi := lo; gi < hi; gi++ {
-				if err := buildGroup(gi); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-
-	// Rewrite the Select to reference the aggregated columns.
-	rs := &sqlparser.Select{
-		Distinct: s.Distinct,
-		Limit:    s.Limit,
-	}
-	for _, item := range s.Items {
-		if item.Star {
-			return nil, nil, fmt.Errorf("engine: SELECT * is not valid with GROUP BY")
-		}
-		alias := item.Alias
-		if alias == "" {
-			// Substitution renames columns to _gN/_aN; keep the original
-			// user-visible name for the output schema.
-			if cr, ok := item.Expr.(sqlparser.ColRef); ok {
-				alias = cr.Name
-			}
-		}
-		rs.Items = append(rs.Items, sqlparser.SelectItem{
-			Expr:  substExpr(item.Expr, subst),
-			Alias: alias,
-		})
-	}
-	if s.Having != nil {
-		rs.Having = substExpr(s.Having, subst)
-	}
-	for _, o := range s.OrderBy {
-		rs.OrderBy = append(rs.OrderBy, sqlparser.OrderItem{Expr: substExpr(o.Expr, subst), Desc: o.Desc})
-	}
-	return out, rs, nil
+	return specs, nil
 }
 
-// aggPool returns the pool for within-group chunking: the engine pool when
-// par is set (single-group/global aggregates), a serial pool otherwise
-// (grouped queries already parallelise across groups; nesting would square
-// the worker count).
-func (e *Engine) aggPool(par bool) *parallel.Pool {
-	if par {
-		return e.pool
-	}
-	return parallel.New(1, e.pool.ChunkSize())
-}
-
-// countRows counts non-null argument values over the rows, chunked.
-func countRows(pool *parallel.Pool, arg compiledExpr, rows []types.Row) (int64, error) {
-	var c atomic.Int64
-	err := pool.ForEachChunk(len(rows), func(_, lo, hi int) error {
-		var local int64
-		for i := lo; i < hi; i++ {
-			v, err := arg(rows[i])
-			if err != nil {
-				return err
-			}
-			if !v.IsNull() {
-				local++
-			}
-		}
-		c.Add(local)
-		return nil
-	})
-	return c.Load(), err
-}
-
-// computeAggregate evaluates one aggregate over a group's rows. par enables
-// within-group chunked parallelism (global aggregates); grouped evaluation
-// passes false because the caller already runs groups concurrently.
-func (e *Engine) computeAggregate(name string, call *sqlparser.FuncCall, args []compiledExpr, pV, nV types.Value, rows []types.Row, par bool) (types.Value, error) {
-	pool := e.aggPool(par)
-	switch name {
+// newState builds the incremental transition state for this aggregate.
+func (sp *aggSpec) newState() (aggState, error) {
+	switch sp.name {
 	case "count":
-		if call.Star {
-			return types.NewInt(int64(len(rows))), nil
+		st := &countState{star: sp.call.Star, distinct: sp.call.Distinct}
+		if st.distinct {
+			st.seen = make(map[string]bool)
 		}
-		if call.Distinct {
-			// DISTINCT needs one shared dedup set; keep it serial.
-			seen := make(map[string]bool)
-			for _, row := range rows {
-				v, err := args[0](row)
-				if err != nil {
-					return types.Null, err
-				}
-				if !v.IsNull() {
-					seen[v.GroupKey()] = true
-				}
-			}
-			return types.NewInt(int64(len(seen))), nil
-		}
-		c, err := countRows(pool, args[0], rows)
-		if err != nil {
-			return types.Null, err
-		}
-		return types.NewInt(c), nil
-
+		return st, nil
 	case "sum":
-		return e.sumAggregate(call, args, rows, pool)
-
+		return newSumState(sp.call.Distinct, sp.eng.n), nil
 	case "avg":
-		sum, err := e.sumAggregate(call, args, rows, pool)
-		if err != nil {
-			return types.Null, err
-		}
-		if sum.K == types.KindShare {
-			return types.Null, fmt.Errorf("engine: AVG over shares must be rewritten to SUM + COUNT")
-		}
-		c, err := countRows(pool, args[0], rows)
-		if err != nil {
-			return types.Null, err
-		}
-		if c == 0 || sum.IsNull() {
-			return types.Null, nil
-		}
-		// Two extra decimal digits of precision, matching the proxy's
-		// decrypted-AVG convention (scale bookkeeping lives above us).
-		return types.Value{K: types.KindDecimal, I: sum.I * 100 / c}, nil
-
+		return &avgState{sum: newSumState(sp.call.Distinct, sp.eng.n)}, nil
 	case "min", "max":
-		min := name == "min"
-		better := func(v, best types.Value) bool {
-			return best.IsNull() ||
-				(min && v.Compare(best) < 0) ||
-				(!min && v.Compare(best) > 0)
-		}
-		// Chunked local extremes, then a serial reduce over the chunk
-		// winners (plaintext comparison is a total order, so the winner is
-		// independent of association).
-		bests := make([]types.Value, pool.NumChunks(len(rows)))
-		err := pool.ForEachChunk(len(rows), func(chunk, lo, hi int) error {
-			var best types.Value
-			for i := lo; i < hi; i++ {
-				v, err := args[0](rows[i])
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					continue
-				}
-				if v.K == types.KindShare {
-					return fmt.Errorf("engine: MIN/MAX over shares requires sdb_min/sdb_max with an order token")
-				}
-				if better(v, best) {
-					best = v
-				}
-			}
-			bests[chunk] = best
-			return nil
-		})
-		if err != nil {
-			return types.Null, err
-		}
-		var best types.Value
-		for _, v := range bests {
-			if !v.IsNull() && better(v, best) {
-				best = v
-			}
-		}
-		return best, nil
-
+		return &minMaxState{min: sp.name == "min"}, nil
 	case "sdb_min", "sdb_max":
-		return e.secureExtreme(name == "sdb_min", args, pV, nV, rows, pool)
-
+		n := sp.n.B
+		return &secExtremeState{
+			min: sp.name == "sdb_min", p: sp.p.B, n: n,
+			half: new(big.Int).Rsh(n, 1),
+		}, nil
 	default:
-		return types.Null, fmt.Errorf("engine: unknown aggregate %q", name)
+		return nil, fmt.Errorf("engine: unknown aggregate %q", sp.name)
 	}
 }
 
-// sumPartial is one chunk's contribution to a SUM: machine-integer and
-// modular share accumulators plus the kind transition the chunk ended in.
+// evalArgs evaluates the aggregate's argument expressions for one row.
+func (sp *aggSpec) evalArgs(row types.Row) ([]types.Value, error) {
+	if len(sp.args) == 0 {
+		return nil, nil
+	}
+	vals := make([]types.Value, len(sp.args))
+	for i, a := range sp.args {
+		v, err := a(row)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// aggState is the incremental form of one aggregate: rows transition into
+// it one at a time (inside a parallel partition), partition states merge,
+// and final produces the output value. All transitions and merges are
+// associative-and-deterministic by construction, so partitioned execution
+// reproduces the serial fold exactly.
+type aggState interface {
+	add(vals []types.Value) error
+	merge(other aggState) error
+	final() (types.Value, error)
+}
+
+// ---- COUNT ----------------------------------------------------------------
+
+type countState struct {
+	star, distinct bool
+	n              int64
+	seen           map[string]bool
+}
+
+func (st *countState) add(vals []types.Value) error {
+	if st.star {
+		st.n++
+		return nil
+	}
+	v := vals[0]
+	if v.IsNull() {
+		return nil
+	}
+	if st.distinct {
+		st.seen[v.GroupKey()] = true
+		return nil
+	}
+	st.n++
+	return nil
+}
+
+func (st *countState) merge(other aggState) error {
+	o := other.(*countState)
+	st.n += o.n
+	for k := range o.seen {
+		st.seen[k] = true
+	}
+	return nil
+}
+
+func (st *countState) final() (types.Value, error) {
+	if st.distinct {
+		return types.NewInt(int64(len(st.seen))), nil
+	}
+	return types.NewInt(st.n), nil
+}
+
+// ---- SUM ------------------------------------------------------------------
+
+// sumPartial is a partial SUM: machine-integer and modular share
+// accumulators plus the kind transition the fold ended in.
 type sumPartial struct {
 	intSum   int64
 	shareSum *big.Int
@@ -420,7 +242,7 @@ type sumPartial struct {
 }
 
 // addValue applies one value to the partial, mirroring the serial kind
-// transitions exactly so chunked and serial execution agree.
+// transitions exactly so partitioned and serial execution agree.
 func (sp *sumPartial) addValue(v types.Value, n *big.Int) error {
 	switch v.K {
 	case types.KindShare:
@@ -447,8 +269,8 @@ func (sp *sumPartial) addValue(v types.Value, n *big.Int) error {
 	return nil
 }
 
-// merge folds another chunk's partial into sp (chunk order), replaying the
-// same transitions on the aggregated quantities.
+// merge folds another partial into sp, replaying the same transitions on
+// the aggregated quantities.
 func (sp *sumPartial) merge(other sumPartial, n *big.Int) {
 	if other.kind == types.KindNull {
 		return
@@ -466,136 +288,206 @@ func (sp *sumPartial) merge(other sumPartial, n *big.Int) {
 	}
 }
 
-func (e *Engine) sumAggregate(call *sqlparser.FuncCall, args []compiledExpr, rows []types.Row, pool *parallel.Pool) (types.Value, error) {
-	var total sumPartial
-	total.kind = types.KindNull
-	if call.Distinct {
-		// DISTINCT needs one shared dedup set; keep it serial.
-		seen := make(map[string]bool)
-		for _, row := range rows {
-			v, err := args[0](row)
-			if err != nil {
-				return types.Null, err
-			}
-			if v.IsNull() {
-				continue
-			}
-			k := v.GroupKey()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			if err := total.addValue(v, e.n); err != nil {
-				return types.Null, err
-			}
-		}
-	} else {
-		// Chunked partial sums, merged in chunk order. Integer addition
-		// and the modular share sum are both associative, so the result
-		// is identical to the serial fold.
-		parts := make([]sumPartial, pool.NumChunks(len(rows)))
-		err := pool.ForEachChunk(len(rows), func(chunk, lo, hi int) error {
-			part := sumPartial{kind: types.KindNull}
-			for i := lo; i < hi; i++ {
-				v, err := args[0](rows[i])
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					continue
-				}
-				if err := part.addValue(v, e.n); err != nil {
-					return err
-				}
-			}
-			parts[chunk] = part
-			return nil
-		})
-		if err != nil {
-			return types.Null, err
-		}
-		for _, part := range parts {
-			total.merge(part, e.n)
-		}
+type sumState struct {
+	part     sumPartial
+	n        *big.Int
+	distinct bool
+	// seen maps dedup keys to values so DISTINCT partials can union-merge.
+	seen map[string]types.Value
+}
+
+func newSumState(distinct bool, n *big.Int) *sumState {
+	st := &sumState{n: n, distinct: distinct}
+	st.part.kind = types.KindNull
+	if distinct {
+		st.seen = make(map[string]types.Value)
 	}
-	switch total.kind {
+	return st
+}
+
+func (st *sumState) add(vals []types.Value) error {
+	v := vals[0]
+	if v.IsNull() {
+		return nil
+	}
+	if st.distinct {
+		k := v.GroupKey()
+		if _, ok := st.seen[k]; ok {
+			return nil
+		}
+		st.seen[k] = v
+	}
+	return st.part.addValue(v, st.n)
+}
+
+func (st *sumState) merge(other aggState) error {
+	o := other.(*sumState)
+	if st.distinct {
+		// Re-fold only the values this partial has not seen; the modular
+		// and integer sums are value-determined, so the union is exact.
+		for k, v := range o.seen {
+			if _, ok := st.seen[k]; ok {
+				continue
+			}
+			st.seen[k] = v
+			if err := st.part.addValue(v, st.n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	st.part.merge(o.part, st.n)
+	return nil
+}
+
+func (st *sumState) final() (types.Value, error) {
+	switch st.part.kind {
 	case types.KindNull:
 		return types.Null, nil
 	case types.KindShare:
-		return types.NewShare(total.shareSum), nil
+		return types.NewShare(st.part.shareSum), nil
 	default:
-		return types.Value{K: total.kind, I: total.intSum}, nil
+		return types.Value{K: st.part.kind, I: st.part.intSum}, nil
 	}
 }
 
-// secureExtreme implements sdb_min / sdb_max over flat-key tags: pairwise
-// masked comparison (tag_c − tag_best)·mtag_c revealed with the flat
-// product token P (Q = 0 because flat keys do not involve the row id).
-// The winner's tag is returned, still encrypted under the flat key.
-//
-// Parallel shape: a chunked tournament. Each chunk finds its local winner
-// (tag plus that row's mask, needed to compare the winner later); the chunk
-// winners are reduced serially with the same masked-comparison protocol.
-// Flat-key tags are deterministic per plaintext, so the winning tag is
-// independent of the comparison association.
-func (e *Engine) secureExtreme(min bool, args []compiledExpr, pV, nV types.Value, rows []types.Row, pool *parallel.Pool) (types.Value, error) {
-	if pV.K != types.KindShare || nV.K != types.KindShare {
-		return types.Null, fmt.Errorf("engine: sdb_min/sdb_max need hex p and n")
-	}
-	p, n := pV.B, nV.B
-	half := new(big.Int).Rsh(n, 1)
+// ---- AVG ------------------------------------------------------------------
 
-	// beats reports whether candidate (tag, mtag) wins against best.
-	beats := func(tag, mtag, best *big.Int) bool {
-		diff := secure.SubShares(tag, best, n)
-		masked := secure.Multiply(diff, mtag, n)
-		revealed := secure.Multiply(masked, p, n)
-		sign := secure.MaskedSign(revealed, half)
-		return (min && sign < 0) || (!min && sign > 0)
-	}
+type avgState struct {
+	sum   *sumState
+	count int64 // non-null argument rows
+}
 
-	type winner struct{ tag, mtag *big.Int }
-	winners := make([]winner, pool.NumChunks(len(rows)))
-	err := pool.ForEachChunk(len(rows), func(chunk, lo, hi int) error {
-		var best winner
-		for i := lo; i < hi; i++ {
-			tag, err := args[0](rows[i])
-			if err != nil {
-				return err
-			}
-			mtag, err := args[1](rows[i])
-			if err != nil {
-				return err
-			}
-			if tag.IsNull() {
-				continue
-			}
-			if tag.K != types.KindShare || mtag.K != types.KindShare {
-				return fmt.Errorf("engine: sdb_min/sdb_max args must be shares")
-			}
-			if best.tag == nil || beats(tag.B, mtag.B, best.tag) {
-				best = winner{tag: tag.B, mtag: mtag.B}
-			}
-		}
-		winners[chunk] = best
+func (st *avgState) add(vals []types.Value) error {
+	if vals[0].IsNull() {
 		return nil
-	})
+	}
+	st.count++
+	return st.sum.add(vals)
+}
+
+func (st *avgState) merge(other aggState) error {
+	o := other.(*avgState)
+	st.count += o.count
+	return st.sum.merge(o.sum)
+}
+
+func (st *avgState) final() (types.Value, error) {
+	sum, err := st.sum.final()
 	if err != nil {
 		return types.Null, err
 	}
-	var best winner
-	for _, w := range winners {
-		if w.tag == nil {
-			continue
-		}
-		if best.tag == nil || beats(w.tag, w.mtag, best.tag) {
-			best = w
-		}
+	if sum.K == types.KindShare {
+		return types.Null, fmt.Errorf("engine: AVG over shares must be rewritten to SUM + COUNT")
 	}
-	if best.tag == nil {
+	// AVG(DISTINCT x) divides the deduplicated sum by the deduplicated
+	// count (SQL semantics); the dedup set already lives in the sum state.
+	count := st.count
+	if st.sum.distinct {
+		count = int64(len(st.sum.seen))
+	}
+	if count == 0 || sum.IsNull() {
 		return types.Null, nil
 	}
-	return types.NewShare(best.tag), nil
+	// Two extra decimal digits of precision, matching the proxy's
+	// decrypted-AVG convention (scale bookkeeping lives above us).
+	return types.Value{K: types.KindDecimal, I: sum.I * 100 / count}, nil
+}
+
+// ---- MIN / MAX ------------------------------------------------------------
+
+type minMaxState struct {
+	min  bool
+	best types.Value
+}
+
+func (st *minMaxState) better(v types.Value) bool {
+	return st.best.IsNull() ||
+		(st.min && v.Compare(st.best) < 0) ||
+		(!st.min && v.Compare(st.best) > 0)
+}
+
+func (st *minMaxState) add(vals []types.Value) error {
+	v := vals[0]
+	if v.IsNull() {
+		return nil
+	}
+	if v.K == types.KindShare {
+		return fmt.Errorf("engine: MIN/MAX over shares requires sdb_min/sdb_max with an order token")
+	}
+	if st.better(v) {
+		st.best = v
+	}
+	return nil
+}
+
+func (st *minMaxState) merge(other aggState) error {
+	o := other.(*minMaxState)
+	if !o.best.IsNull() && st.better(o.best) {
+		st.best = o.best
+	}
+	return nil
+}
+
+func (st *minMaxState) final() (types.Value, error) { return st.best, nil }
+
+// ---- sdb_min / sdb_max ----------------------------------------------------
+
+// secExtremeState implements sdb_min / sdb_max over flat-key tags: pairwise
+// masked comparison (tag_c − tag_best)·mtag_c revealed with the flat
+// product token P (Q = 0 because flat keys do not involve the row id). The
+// winner's tag is retained, still encrypted under the flat key.
+//
+// Partitioned execution is a tournament: each partition holds its local
+// winner (tag plus that row's mask, needed to compare the winner later),
+// and partition winners reduce with the same masked-comparison protocol.
+// Flat-key tags are deterministic per plaintext, so the winning tag is
+// independent of the comparison association.
+type secExtremeState struct {
+	min        bool
+	p, n, half *big.Int
+	tag, mtag  *big.Int
+}
+
+// beats reports whether candidate (tag, mtag) wins against best.
+func (st *secExtremeState) beats(tag, mtag, best *big.Int) bool {
+	diff := secure.SubShares(tag, best, st.n)
+	masked := secure.Multiply(diff, mtag, st.n)
+	revealed := secure.Multiply(masked, st.p, st.n)
+	sign := secure.MaskedSign(revealed, st.half)
+	return (st.min && sign < 0) || (!st.min && sign > 0)
+}
+
+func (st *secExtremeState) add(vals []types.Value) error {
+	tag, mtag := vals[0], vals[1]
+	if tag.IsNull() {
+		return nil
+	}
+	if tag.K != types.KindShare || mtag.K != types.KindShare {
+		return fmt.Errorf("engine: sdb_min/sdb_max args must be shares")
+	}
+	if st.tag == nil || st.beats(tag.B, mtag.B, st.tag) {
+		st.tag, st.mtag = tag.B, mtag.B
+	}
+	return nil
+}
+
+func (st *secExtremeState) merge(other aggState) error {
+	o := other.(*secExtremeState)
+	if o.tag == nil {
+		return nil
+	}
+	if st.tag == nil || st.beats(o.tag, o.mtag, st.tag) {
+		st.tag, st.mtag = o.tag, o.mtag
+	}
+	return nil
+}
+
+func (st *secExtremeState) final() (types.Value, error) {
+	if st.tag == nil {
+		return types.Null, nil
+	}
+	return types.NewShare(st.tag), nil
 }
 
 // secureCompare orders two rows by their flat-key tags using per-pair mask

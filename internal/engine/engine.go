@@ -41,12 +41,16 @@ type Engine struct {
 	// columns, secure aggregates) to bounded workers.
 	pool *parallel.Pool
 	// execMu serializes writers (CREATE/INSERT/UPDATE) against readers.
-	// SELECTs share the read lock and hold it only while building their
-	// source relation: scanTable copies row values into a snapshot, so
-	// streaming iterators read snapshots lock-free after that. The lock
-	// is taken only at public entry points (Execute, Stmt.Query) — the
-	// internal recursion (subqueries in FROM) runs lock-free under the
-	// caller's hold, which keeps the RWMutex non-reentrant-safe.
+	// SELECTs share the read lock and hold it only while planning: every
+	// scanOp snapshots its table's column-slice headers under the lock,
+	// and those arrays stay immutable afterwards — INSERT only appends
+	// past snapshot lengths and UPDATE swaps in freshly-built column
+	// slices copy-on-write (see execUpdate) — so streaming iterators
+	// execute lock-free over consistent snapshots. Writers must never
+	// mutate stored column slices in place. The lock is taken only at
+	// public entry points (Execute, Stmt.Query) — the internal recursion
+	// (subqueries in FROM) runs lock-free under the caller's hold, which
+	// keeps the RWMutex non-reentrant-safe.
 	execMu sync.RWMutex
 }
 
@@ -159,6 +163,16 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 		}
 	}
 
+	// Copy-on-write: updates build fresh column slices and swap them in
+	// after success, so streaming scans that snapshotted the old headers
+	// (scanOp) keep reading an immutable, consistent version lock-free.
+	newCols := make(map[int][]types.Value, len(sets))
+	for _, set := range sets {
+		if _, ok := newCols[set.colIdx]; !ok {
+			newCols[set.colIdx] = append([]types.Value(nil), t.Cols[set.colIdx]...)
+		}
+	}
+
 	// Chunked parallel update: rows are independent (each SET expression
 	// reads the scanned snapshot and writes its own row's slots), which is
 	// what makes server-side key rotation scale with cores.
@@ -184,7 +198,7 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 				if err != nil {
 					return fmt.Errorf("engine: column %q: %w", t.Schema.Columns[set.colIdx].Name, err)
 				}
-				t.Cols[set.colIdx][i] = v
+				newCols[set.colIdx][i] = v
 			}
 			updated.Add(1)
 		}
@@ -192,6 +206,9 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	for idx, col := range newCols {
+		t.Cols[idx] = col
 	}
 	return &Result{
 		Columns: []ResultColumn{{Name: "updated", Kind: types.KindInt}},

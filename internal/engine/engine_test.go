@@ -227,6 +227,21 @@ func TestCountDistinct(t *testing.T) {
 	}
 }
 
+func TestAvgDistinct(t *testing.T) {
+	e := New(storage.NewCatalog(), nil)
+	mustExec(t, e, `CREATE TABLE ad (x INT)`)
+	mustExec(t, e, `INSERT INTO ad VALUES (1), (1), (4)`)
+	// SUM(DISTINCT)/COUNT(DISTINCT) = 5/2 = 2.50 (AVG carries two extra
+	// decimal digits), not the deduped sum over the raw row count.
+	res := mustExec(t, e, `SELECT AVG(DISTINCT x), AVG(x) FROM ad`)
+	if res.Rows[0][0].I != 250 {
+		t.Errorf("AVG(DISTINCT) = %d, want 250", res.Rows[0][0].I)
+	}
+	if res.Rows[0][1].I != 200 {
+		t.Errorf("AVG = %d, want 200", res.Rows[0][1].I)
+	}
+}
+
 func TestInsertColumnSubsetAndNulls(t *testing.T) {
 	e := plainEngine(t)
 	mustExec(t, e, `INSERT INTO emp (id, name) VALUES (6, 'zed')`)

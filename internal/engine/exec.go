@@ -1,153 +1,29 @@
 package engine
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"strings"
 
-	"sdb/internal/parallel"
 	"sdb/internal/sqlparser"
 	"sdb/internal/types"
 )
 
-// selectExec is a SELECT whose blocking stages have run: the source
-// relation is final (FROM, WHERE, aggregation and HAVING applied) and the
-// select list is compiled. Only the projection and the post-projection
-// steps (ORDER BY, DISTINCT, LIMIT) remain, so it is the split point
-// between materialized execution and streaming iteration.
-type selectExec struct {
-	// sel is the statement after aggregate substitution (aggregate calls
-	// replaced with column refs), used for ORDER BY/DISTINCT/LIMIT.
-	sel      *sqlparser.Select
-	rel      *relation
-	outCols  []ResultColumn
-	outExprs []compiledExpr
-}
-
-// needMaterialize reports whether the post-projection steps require the
-// whole projected row set at once (sorting and dedup are inherently
-// blocking; a bare LIMIT streams with early termination).
-func (se *selectExec) needMaterialize() bool {
-	return len(se.sel.OrderBy) > 0 || se.sel.Distinct
-}
-
-// buildSelect runs the blocking stages of a SELECT: FROM assembly, the
-// WHERE filter, aggregation + HAVING, and select-list compilation.
-func (e *Engine) buildSelect(s *sqlparser.Select) (*selectExec, error) {
-	rel, err := e.buildFrom(s.From)
-	if err != nil {
-		return nil, err
-	}
-	ctx := e.evalCtx()
-
-	// WHERE
-	if s.Where != nil {
-		pred, err := compile(s.Where, rel, ctx)
-		if err != nil {
-			return nil, err
-		}
-		if rel, err = e.filterRows(rel, pred); err != nil {
-			return nil, err
-		}
-	}
-
-	// Aggregation?
-	aggs := collectAggregates(s)
-	if len(aggs) > 0 || len(s.GroupBy) > 0 {
-		var err error
-		rel, s, err = e.aggregate(rel, s, aggs)
-		if err != nil {
-			return nil, err
-		}
-		// HAVING runs over the aggregated relation (aggregate calls were
-		// substituted with column refs by e.aggregate).
-		if s.Having != nil {
-			pred, err := compile(s.Having, rel, ctx)
-			if err != nil {
-				return nil, err
-			}
-			if rel, err = e.filterRows(rel, pred); err != nil {
-				return nil, err
-			}
-		}
-	} else if s.Having != nil {
-		return nil, fmt.Errorf("engine: HAVING without aggregation")
-	}
-
-	// Projection.
-	outCols, outExprs, err := e.projection(s, rel)
-	if err != nil {
-		return nil, err
-	}
-	return &selectExec{sel: s, rel: rel, outCols: outCols, outExprs: outExprs}, nil
-}
-
-// projectRange evaluates the select list over rel rows [lo, hi), in
-// parallel chunks on the pool. Every SDB UDF in the select list (share
-// multiplies, key updates, sign evaluations) runs here.
-func (e *Engine) projectRange(se *selectExec, lo, hi int) ([]types.Row, error) {
-	return parallel.Map(e.pool, hi-lo, func(i int) (types.Row, error) {
-		out := make(types.Row, len(se.outExprs))
-		for c, ex := range se.outExprs {
-			v, err := ex(se.rel.rows[lo+i])
-			if err != nil {
-				return nil, err
-			}
-			out[c] = v
-		}
-		return out, nil
-	})
-}
-
+// execSelect runs a SELECT to completion: plan the operator tree, drain it,
+// infer output kinds over the full result. Streaming execution
+// (Stmt.Query) plans the identical tree and serves it batch by batch.
 func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
-	se, err := e.buildSelect(s)
+	pl, err := e.planSelect(s)
 	if err != nil {
 		return nil, err
 	}
-	return e.materializeSelect(se)
-}
-
-// materializeSelect runs the projection over the whole relation and applies
-// the post-projection steps, producing a fully materialized result.
-func (e *Engine) materializeSelect(se *selectExec) (*Result, error) {
-	s := se.sel
-	outRows, err := e.projectRange(se, 0, len(se.rel.rows))
+	rows, err := drainOperator(context.Background(), pl.root)
 	if err != nil {
 		return nil, err
 	}
-
-	// ORDER BY: evaluated against the pre-projection relation, with
-	// aliases resolving to projected columns.
-	if len(s.OrderBy) > 0 {
-		outRows, err = e.orderBy(s, se.rel, se.outCols, outRows)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// DISTINCT.
-	if s.Distinct {
-		seen := make(map[string]bool, len(outRows))
-		uniq := outRows[:0:0]
-		for _, row := range outRows {
-			key := rowKey(row)
-			if !seen[key] {
-				seen[key] = true
-				uniq = append(uniq, row)
-			}
-		}
-		outRows = uniq
-	}
-
-	// LIMIT.
-	if s.Limit != nil && int64(len(outRows)) > *s.Limit {
-		outRows = outRows[:*s.Limit]
-	}
-
-	// Column kinds: infer from the first non-null value.
-	res := &Result{Columns: append([]ResultColumn{}, se.outCols...), Rows: outRows}
-	inferKinds(res.Columns, outRows)
-	return res, nil
+	cols := append([]ResultColumn{}, pl.cols...)
+	inferKinds(cols, rows)
+	return &Result{Columns: cols, Rows: rows}, nil
 }
 
 // inferKinds sets column kinds from the first non-null value per column.
@@ -160,30 +36,6 @@ func inferKinds(cols []ResultColumn, rows []types.Row) {
 			}
 		}
 	}
-}
-
-// filterRows evaluates pred over the relation in parallel chunks and
-// compacts the survivors, preserving row order. Predicates over sensitive
-// columns evaluate SDB UDFs (token applications, masked signs), so this is
-// a secure-operator hot path.
-func (e *Engine) filterRows(rel *relation, pred compiledExpr) (*relation, error) {
-	keep, err := parallel.Map(e.pool, len(rel.rows), func(i int) (bool, error) {
-		ok, err := pred(rel.rows[i])
-		if err != nil {
-			return false, err
-		}
-		return ok.Bool(), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	kept := rel.rows[:0:0]
-	for i, row := range rel.rows {
-		if keep[i] {
-			kept = append(kept, row)
-		}
-	}
-	return &relation{cols: rel.cols, rows: kept}, nil
 }
 
 // projection expands stars and compiles the select list.
@@ -221,140 +73,4 @@ func (e *Engine) projection(s *sqlparser.Select, rel *relation) ([]ResultColumn,
 		exprs = append(exprs, ce)
 	}
 	return cols, exprs, nil
-}
-
-// orderBy sorts the projected rows. Order keys may reference output
-// aliases, ordinals, arbitrary expressions over the pre-projection
-// relation, or the secure comparator sdb_ord(tag, mtag, p, n).
-func (e *Engine) orderBy(s *sqlparser.Select, rel *relation, outCols []ResultColumn, outRows []types.Row) ([]types.Row, error) {
-	type keyFn struct {
-		desc bool
-		// plain: value per (projected row index)
-		vals []types.Value
-		// secure comparator inputs per row (tags/mtags under flat keys)
-		secTags, secMasks []types.Value
-		secP              types.Value
-		secN              types.Value
-	}
-	ctx := e.evalCtx()
-	n := len(outRows)
-	keys := make([]keyFn, 0, len(s.OrderBy))
-
-	for _, item := range s.OrderBy {
-		k := keyFn{desc: item.Desc}
-		if fc, ok := item.Expr.(*sqlparser.FuncCall); ok && strings.EqualFold(fc.Name, "sdb_ord") {
-			if len(fc.Args) != 4 {
-				return nil, fmt.Errorf("engine: sdb_ord expects (tag, mtag, p, n)")
-			}
-			tagE, err := compile(fc.Args[0], rel, ctx)
-			if err != nil {
-				return nil, err
-			}
-			maskE, err := compile(fc.Args[1], rel, ctx)
-			if err != nil {
-				return nil, err
-			}
-			pV, err := evalConst(fc.Args[2], ctx)
-			if err != nil {
-				return nil, err
-			}
-			nV, err := evalConst(fc.Args[3], ctx)
-			if err != nil {
-				return nil, err
-			}
-			k.secTags = make([]types.Value, n)
-			k.secMasks = make([]types.Value, n)
-			k.secP, k.secN = pV, nV
-			err = e.pool.ForEachChunk(n, func(_, lo, hi int) error {
-				for i := lo; i < hi; i++ {
-					var err error
-					if k.secTags[i], err = tagE(rel.rows[i]); err != nil {
-						return err
-					}
-					if k.secMasks[i], err = maskE(rel.rows[i]); err != nil {
-						return err
-					}
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			keys = append(keys, k)
-			continue
-		}
-
-		// Alias or projected-column reference?
-		resolved := false
-		if cr, ok := item.Expr.(sqlparser.ColRef); ok && cr.Table == "" {
-			for c, oc := range outCols {
-				if strings.EqualFold(oc.Name, cr.Name) {
-					k.vals = make([]types.Value, n)
-					for i := range outRows {
-						k.vals[i] = outRows[i][c]
-					}
-					resolved = true
-					break
-				}
-			}
-		}
-		if !resolved {
-			ce, err := compile(item.Expr, rel, ctx)
-			if err != nil {
-				return nil, err
-			}
-			if k.vals, err = parallel.Map(e.pool, n, func(i int) (types.Value, error) {
-				return ce(rel.rows[i])
-			}); err != nil {
-				return nil, err
-			}
-		}
-		keys = append(keys, k)
-	}
-
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	var sortErr error
-	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		for _, k := range keys {
-			var c int
-			if k.vals != nil {
-				c = k.vals[ia].Compare(k.vals[ib])
-			} else {
-				var err error
-				c, err = secureCompare(k.secTags[ia], k.secMasks[ia], k.secTags[ib], k.secMasks[ib], k.secP, k.secN)
-				if err != nil && sortErr == nil {
-					sortErr = err
-				}
-			}
-			if c == 0 {
-				continue
-			}
-			if k.desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	if sortErr != nil {
-		return nil, sortErr
-	}
-	sorted := make([]types.Row, n)
-	for i, j := range idx {
-		sorted[i] = outRows[j]
-	}
-	return sorted, nil
-}
-
-func rowKey(row types.Row) string {
-	var sb strings.Builder
-	for _, v := range row {
-		sb.WriteString(v.GroupKey())
-		sb.WriteByte('|')
-	}
-	return sb.String()
 }

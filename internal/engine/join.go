@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"context"
+	"io"
+
+	"sdb/internal/parallel"
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// joinOutput is the pending-output buffer shared by both join operators:
+// one probe batch can produce anywhere between zero and build-side-many
+// joined rows, so output is re-batched to the pipeline granularity.
+type joinOutput struct {
+	out   []types.Row
+	pos   int
+	batch int
+}
+
+func (jo *joinOutput) serve() []types.Row {
+	hi := jo.pos + jo.batch
+	if hi > len(jo.out) {
+		hi = len(jo.out)
+	}
+	rows := jo.out[jo.pos:hi]
+	jo.pos = hi
+	if jo.pos >= len(jo.out) {
+		jo.out, jo.pos = nil, 0
+	}
+	return rows
+}
+
+func (jo *joinOutput) pending() int { return len(jo.out) - jo.pos }
+
+func concatRows(a, b types.Row) types.Row {
+	row := make(types.Row, 0, len(a)+len(b))
+	row = append(row, a...)
+	return append(row, b...)
+}
+
+// hashJoinOp is an equi-join: the build side (right) is drained and hashed
+// at open — the only materialized state — and the probe side (left) streams
+// through in batches. Both phases are partitioned-parallel on the engine
+// pool: the build partitions rows by key hash into per-worker maps (no
+// shared-map locking), and each probe batch is looked up in parallel
+// chunks. Output order is probe order × build insertion order, matching the
+// serial nested loop on the same inputs.
+type hashJoinOp struct {
+	e           *Engine
+	left, right operator
+	schema      []relCol
+	leftKeys    []compiledExpr
+	rightKeys   []compiledExpr
+	residual    compiledExpr // non-equi ON conjuncts over the joined row; may be nil
+	batch       int
+
+	ctx       context.Context
+	parts     []map[string][]types.Row
+	buildRows int
+	out       joinOutput
+	peak      residentPeak
+}
+
+func (op *hashJoinOp) columns() []relCol { return op.schema }
+
+func (op *hashJoinOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	op.out.batch = op.batch
+	if err := op.left.open(ctx); err != nil {
+		return err
+	}
+	if err := op.right.open(ctx); err != nil {
+		return err
+	}
+	return op.build()
+}
+
+// build drains the right child and constructs the partitioned hash index.
+func (op *hashJoinOp) build() error {
+	nparts := op.e.pool.Workers()
+	if nparts < 1 {
+		nparts = 1
+	}
+	type keyedRow struct {
+		key  string
+		part int // -1 marks a NULL key component (never matches)
+	}
+	var rows []types.Row
+	var keys []keyedRow
+	for {
+		if err := op.ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := op.right.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ks, err := parallel.Map(op.e.pool, len(batch), func(i int) (keyedRow, error) {
+			key, hasNull, err := joinKeyOf(op.rightKeys, batch[i])
+			if err != nil || hasNull {
+				return keyedRow{part: -1}, err
+			}
+			return keyedRow{key: key, part: int(hashKey(key) % uint32(nparts))}, nil
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, batch...)
+		keys = append(keys, ks...)
+		op.peak.latch(len(rows) + op.right.resident())
+	}
+	op.right.close()
+
+	// Partitioned-parallel index build: worker p owns partition p and picks
+	// the build rows whose precomputed hash lands in it, so no two workers
+	// ever touch the same map. Within a key, rows keep build order.
+	op.parts = make([]map[string][]types.Row, nparts)
+	err := parallel.New(nparts, 1).ForEachChunk(nparts, func(_, lo, hi int) error {
+		for p := lo; p < hi; p++ {
+			part := make(map[string][]types.Row)
+			for i, k := range keys {
+				if k.part == p {
+					part[k.key] = append(part[k.key], rows[i])
+				}
+			}
+			op.parts[p] = part
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, part := range op.parts {
+		for _, rs := range part {
+			op.buildRows += len(rs)
+		}
+	}
+	return nil
+}
+
+func (op *hashJoinOp) next() ([]types.Row, error) {
+	if op.buildRows == 0 {
+		// Empty build side: an inner join is provably empty, so skip the
+		// probe scan (and its per-row key UDF evaluation) entirely.
+		return nil, io.EOF
+	}
+	for op.out.pending() == 0 {
+		if err := op.ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch, err := op.left.next()
+		if err != nil {
+			return nil, err
+		}
+		if err := op.probe(batch); err != nil {
+			return nil, err
+		}
+		op.peak.latch(op.buildRows + op.out.pending() + op.left.resident())
+	}
+	return op.out.serve(), nil
+}
+
+// probe matches one probe batch against the build index in parallel chunks;
+// per-chunk buffers are concatenated in chunk order to preserve probe-row
+// order.
+func (op *hashJoinOp) probe(batch []types.Row) error {
+	nparts := len(op.parts)
+	chunks := make([][]types.Row, op.e.pool.NumChunks(len(batch)))
+	err := op.e.pool.ForEachChunk(len(batch), func(chunk, lo, hi int) error {
+		var buf []types.Row
+		for i := lo; i < hi; i++ {
+			key, hasNull, err := joinKeyOf(op.leftKeys, batch[i])
+			if err != nil {
+				return err
+			}
+			if hasNull {
+				continue
+			}
+			for _, rb := range op.parts[int(hashKey(key)%uint32(nparts))][key] {
+				row := concatRows(batch[i], rb)
+				if op.residual != nil {
+					ok, err := op.residual(row)
+					if err != nil {
+						return err
+					}
+					if !ok.Bool() {
+						continue
+					}
+				}
+				buf = append(buf, row)
+			}
+		}
+		chunks[chunk] = buf
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, buf := range chunks {
+		op.out.out = append(op.out.out, buf...)
+	}
+	return nil
+}
+
+func (op *hashJoinOp) close() error {
+	op.resident() // latch the final state before releasing it
+	op.parts, op.buildRows = nil, 0
+	op.out = joinOutput{}
+	op.left.close()
+	return op.right.close()
+}
+
+func (op *hashJoinOp) resident() int {
+	return op.peak.latch(op.buildRows + op.out.pending() + op.left.resident() + op.right.resident())
+}
+
+// nestedLoopJoinOp handles non-equi ON conditions and cross joins: the
+// right side is materialized at open, the left streams through, and each
+// probe batch evaluates the condition over the cross product in parallel
+// chunks. cond == nil is a cross join.
+type nestedLoopJoinOp struct {
+	e           *Engine
+	left, right operator
+	schema      []relCol
+	cond        compiledExpr
+	batch       int
+
+	ctx   context.Context
+	build []types.Row
+	out   joinOutput
+	peak  residentPeak
+}
+
+func (op *nestedLoopJoinOp) columns() []relCol { return op.schema }
+
+func (op *nestedLoopJoinOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	op.out.batch = op.batch
+	if err := op.left.open(ctx); err != nil {
+		return err
+	}
+	if err := op.right.open(ctx); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := op.right.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		op.build = append(op.build, batch...)
+		op.peak.latch(len(op.build) + op.right.resident())
+	}
+	return op.right.close()
+}
+
+func (op *nestedLoopJoinOp) next() ([]types.Row, error) {
+	for op.out.pending() == 0 {
+		if err := op.ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch, err := op.left.next()
+		if err != nil {
+			return nil, err
+		}
+		chunks := make([][]types.Row, op.e.pool.NumChunks(len(batch)))
+		err = op.e.pool.ForEachChunk(len(batch), func(chunk, lo, hi int) error {
+			var buf []types.Row
+			for i := lo; i < hi; i++ {
+				for _, rb := range op.build {
+					row := concatRows(batch[i], rb)
+					if op.cond != nil {
+						ok, err := op.cond(row)
+						if err != nil {
+							return err
+						}
+						if !ok.Bool() {
+							continue
+						}
+					}
+					buf = append(buf, row)
+				}
+			}
+			chunks[chunk] = buf
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, buf := range chunks {
+			op.out.out = append(op.out.out, buf...)
+		}
+		op.peak.latch(len(op.build) + op.out.pending() + op.left.resident())
+	}
+	return op.out.serve(), nil
+}
+
+func (op *nestedLoopJoinOp) close() error {
+	op.resident() // latch the final state before releasing it
+	op.build = nil
+	op.out = joinOutput{}
+	op.left.close()
+	return op.right.close()
+}
+
+func (op *nestedLoopJoinOp) resident() int {
+	return op.peak.latch(len(op.build) + op.out.pending() + op.left.resident() + op.right.resident())
+}
+
+// planJoin builds the join operator for left JOIN right ON on. Equality
+// conjuncts with one side bound to each input select a hash join (build on
+// the right, probe on the left); remaining conjuncts become a residual
+// predicate over the joined row. Without any usable equality the join falls
+// back to a nested loop over the full condition.
+func (e *Engine) planJoin(left, right operator, on sqlparser.Expr) (operator, error) {
+	schema := append(append([]relCol{}, left.columns()...), right.columns()...)
+	joined := &relation{cols: schema}
+	ctx := e.evalCtx()
+	lrel := &relation{cols: left.columns()}
+	rrel := &relation{cols: right.columns()}
+
+	eqs, rest := splitConjuncts(on)
+	var leftKeys, rightKeys []compiledExpr
+	var residual []sqlparser.Expr
+	for _, eq := range eqs {
+		be, ok := eq.(*sqlparser.BinaryExpr)
+		if !ok || be.Op != "=" {
+			residual = append(residual, eq)
+			continue
+		}
+		lc, errL := compile(be.L, lrel, ctx)
+		rc, errR := compile(be.R, rrel, ctx)
+		if errL == nil && errR == nil {
+			leftKeys = append(leftKeys, lc)
+			rightKeys = append(rightKeys, rc)
+			continue
+		}
+		lc2, errL2 := compile(be.R, lrel, ctx)
+		rc2, errR2 := compile(be.L, rrel, ctx)
+		if errL2 == nil && errR2 == nil {
+			leftKeys = append(leftKeys, lc2)
+			rightKeys = append(rightKeys, rc2)
+			continue
+		}
+		residual = append(residual, eq)
+	}
+	residual = append(residual, rest...)
+
+	if len(leftKeys) > 0 {
+		var resid compiledExpr
+		if len(residual) > 0 {
+			var err error
+			if resid, err = compile(conjoin(residual), joined, ctx); err != nil {
+				return nil, err
+			}
+		}
+		return &hashJoinOp{
+			e: e, left: left, right: right, schema: schema,
+			leftKeys: leftKeys, rightKeys: rightKeys, residual: resid,
+			batch: e.batchRows(),
+		}, nil
+	}
+
+	cond, err := compile(on, joined, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &nestedLoopJoinOp{
+		e: e, left: left, right: right, schema: schema, cond: cond,
+		batch: e.batchRows(),
+	}, nil
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"sdb/internal/types"
+)
+
+// appendKeyPart appends one value's group key to a composite hash key with a
+// length prefix. Plain concatenation is ambiguous across component
+// boundaries — ("ab","c") and ("a","bc") would concatenate identically — so
+// every component is framed as "<len>:<groupKey>", which makes the composite
+// encoding injective over value sequences.
+func appendKeyPart(sb *strings.Builder, v types.Value) {
+	k := v.GroupKey()
+	sb.WriteString(strconv.Itoa(len(k)))
+	sb.WriteByte(':')
+	sb.WriteString(k)
+}
+
+// rowKey renders a whole row as a composite hash key (DISTINCT dedup).
+func rowKey(row types.Row) string {
+	var sb strings.Builder
+	for _, v := range row {
+		appendKeyPart(&sb, v)
+	}
+	return sb.String()
+}
+
+// joinKeyOf evaluates the join-key expressions over a row and returns the
+// composite key. hasNull reports a NULL component: SQL equality never
+// matches NULL, so rows with NULL keys are excluded from both build and
+// probe sides (matching the compiled `=` evaluator the nested-loop join
+// uses).
+func joinKeyOf(keys []compiledExpr, row types.Row) (key string, hasNull bool, err error) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v, err := k(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		appendKeyPart(&sb, v)
+	}
+	return sb.String(), false, nil
+}
+
+// hashKey is FNV-1a over the composite key, used to spread keys across
+// hash-partitioned parallel build/probe structures.
+func hashKey(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,415 @@
+// Volcano-style streaming operator tree. Every relational stage of a SELECT
+// — scan, filter, project, join, aggregation, DISTINCT, ORDER BY, LIMIT —
+// is an operator with the same batched cursor interface, composed by the
+// planner in plan.go. Batches flow up the tree one at a time, so the peak
+// resident memory of a pipeline is the sum of what each operator retains
+// (a hash-join build side, an aggregation state table, a top-K heap) plus
+// one in-flight batch per stage — never a materialized intermediate result.
+package engine
+
+import (
+	"context"
+	"io"
+	"math/big"
+
+	"sdb/internal/parallel"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+// operator is one node of the streaming execution tree.
+//
+// The contract mirrors RowIterator: open prepares the subtree (blocking
+// operators drain their build inputs here), next returns a non-empty batch
+// or (nil, io.EOF), never a batch paired with an error, and close releases
+// retained state and is idempotent. Context cancellation is checked between
+// every batch by every operator.
+type operator interface {
+	// columns describes the operator's output schema.
+	columns() []relCol
+	open(ctx context.Context) error
+	next() ([]types.Row, error)
+	close() error
+	// resident reports the rows retained by this subtree — build tables,
+	// aggregation state, sort buffers and pending output — as the maximum
+	// of the current count and a latched high-water mark. Blocking
+	// operators latch the mark while draining their input (and keep it
+	// across close), so peaks inside a drain stay visible to the
+	// iterator's batch-boundary sampling even after the child is released.
+	resident() int
+}
+
+// residentPeak latches a subtree's high-water resident-row count.
+type residentPeak struct{ peak int }
+
+// latch records cur if it is a new maximum and returns the maximum.
+func (rp *residentPeak) latch(cur int) int {
+	if cur > rp.peak {
+		rp.peak = cur
+	}
+	return rp.peak
+}
+
+// rowWindow serves a materialized row slice in batch-sized windows,
+// trimming rows to width columns when width > 0 (hidden sort keys).
+type rowWindow struct {
+	rows  []types.Row
+	pos   int
+	batch int
+	width int
+}
+
+func (w *rowWindow) next() ([]types.Row, error) {
+	if w.pos >= len(w.rows) {
+		return nil, io.EOF
+	}
+	hi := w.pos + w.batch
+	if hi > len(w.rows) {
+		hi = len(w.rows)
+	}
+	out := w.rows[w.pos:hi]
+	if w.width > 0 {
+		out = make([]types.Row, hi-w.pos)
+		for i := range out {
+			out[i] = w.rows[w.pos+i][:w.width]
+		}
+	}
+	w.pos = hi
+	return out, nil
+}
+
+func (w *rowWindow) remaining() int { return len(w.rows) - w.pos }
+
+// ExecStats reports execution-memory accounting for a streamed query.
+type ExecStats struct {
+	// PeakResidentRows is the maximum, over all batch boundaries, of the
+	// rows retained across the operator tree plus the in-flight batch. For
+	// a pipelined plan it is bounded by blocking-state sizes (hash-join
+	// build side, aggregation groups, top-K heap) plus O(batch) per stage,
+	// independent of intermediate result cardinality.
+	PeakResidentRows int
+}
+
+// ---- scan ----------------------------------------------------------------
+
+// scanOp streams a stored table in batches. The column-slice headers are
+// snapshotted at construction (the planner runs under the engine's read
+// lock): appends past the snapshot length are invisible, and UPDATE swaps
+// whole column slices copy-on-write, so the snapshot stays immutable while
+// the scan streams lock-free.
+type scanOp struct {
+	schema []relCol
+	data   [][]types.Value
+	rowEnc []*big.Int
+	helper []*big.Int
+	nrows  int
+	batch  int
+
+	ctx context.Context
+	pos int
+}
+
+// newScanOp snapshots the table under the caller's engine lock.
+func newScanOp(t *storage.Table, alias string, batch int) *scanOp {
+	rel := tableSchema(t, alias)
+	op := &scanOp{
+		schema: rel,
+		data:   make([][]types.Value, len(t.Cols)),
+		rowEnc: t.RowEnc,
+		helper: t.Helper,
+		nrows:  t.NumRows(),
+		batch:  batch,
+	}
+	copy(op.data, t.Cols)
+	return op
+}
+
+func (op *scanOp) columns() []relCol { return op.schema }
+
+func (op *scanOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	return nil
+}
+
+func (op *scanOp) next() ([]types.Row, error) {
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if op.pos >= op.nrows {
+		return nil, io.EOF
+	}
+	hi := op.pos + op.batch
+	if hi > op.nrows {
+		hi = op.nrows
+	}
+	width := len(op.data)
+	out := make([]types.Row, hi-op.pos)
+	for i := range out {
+		r := op.pos + i
+		row := make(types.Row, width+2)
+		for c := 0; c < width; c++ {
+			row[c] = op.data[c][r]
+		}
+		row[width] = types.NewShare(op.rowEnc[r])
+		row[width+1] = types.NewShare(op.helper[r])
+		out[i] = row
+	}
+	op.pos = hi
+	return out, nil
+}
+
+func (op *scanOp) close() error {
+	op.pos = op.nrows
+	op.data, op.rowEnc, op.helper = nil, nil, nil
+	return nil
+}
+
+func (op *scanOp) resident() int { return 0 }
+
+// ---- values --------------------------------------------------------------
+
+// valuesOp serves a fixed row set (the single empty row of a FROM-less
+// SELECT).
+type valuesOp struct {
+	schema []relCol
+	rows   []types.Row
+	done   bool
+}
+
+func (op *valuesOp) columns() []relCol          { return op.schema }
+func (op *valuesOp) open(context.Context) error { return nil }
+func (op *valuesOp) close() error               { op.done = true; return nil }
+func (op *valuesOp) resident() int              { return 0 }
+func (op *valuesOp) next() ([]types.Row, error) {
+	if op.done || len(op.rows) == 0 {
+		return nil, io.EOF
+	}
+	op.done = true
+	return op.rows, nil
+}
+
+// ---- rename --------------------------------------------------------------
+
+// renameOp re-qualifies a subtree's output schema (FROM-subquery aliases);
+// batches pass through untouched.
+type renameOp struct {
+	child  operator
+	schema []relCol
+}
+
+func (op *renameOp) columns() []relCol              { return op.schema }
+func (op *renameOp) open(ctx context.Context) error { return op.child.open(ctx) }
+func (op *renameOp) next() ([]types.Row, error)     { return op.child.next() }
+func (op *renameOp) close() error                   { return op.child.close() }
+func (op *renameOp) resident() int                  { return op.child.resident() }
+
+// ---- filter --------------------------------------------------------------
+
+// filterOp drops rows failing the predicate. Predicate evaluation runs in
+// parallel chunks on the engine pool (predicates over sensitive columns are
+// secure-operator hot paths); the compaction preserves row order.
+type filterOp struct {
+	e     *Engine
+	child operator
+	pred  compiledExpr
+	ctx   context.Context
+}
+
+func (op *filterOp) columns() []relCol { return op.child.columns() }
+
+func (op *filterOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	return op.child.open(ctx)
+}
+
+func (op *filterOp) next() ([]types.Row, error) {
+	for {
+		if err := op.ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch, err := op.child.next()
+		if err != nil {
+			return nil, err
+		}
+		keep, err := parallel.Map(op.e.pool, len(batch), func(i int) (bool, error) {
+			ok, err := op.pred(batch[i])
+			if err != nil {
+				return false, err
+			}
+			return ok.Bool(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		kept := batch[:0:0]
+		for i, row := range batch {
+			if keep[i] {
+				kept = append(kept, row)
+			}
+		}
+		if len(kept) > 0 {
+			return kept, nil
+		}
+	}
+}
+
+func (op *filterOp) close() error  { return op.child.close() }
+func (op *filterOp) resident() int { return op.child.resident() }
+
+// ---- project -------------------------------------------------------------
+
+// projectOp evaluates the select list (plus any hidden ORDER BY key
+// expressions appended by the planner) over each batch, in parallel chunks.
+// Every SDB UDF in the select list runs here.
+type projectOp struct {
+	e      *Engine
+	child  operator
+	exprs  []compiledExpr
+	schema []relCol
+	ctx    context.Context
+}
+
+func (op *projectOp) columns() []relCol { return op.schema }
+
+func (op *projectOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	return op.child.open(ctx)
+}
+
+func (op *projectOp) next() ([]types.Row, error) {
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
+	}
+	batch, err := op.child.next()
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(op.e.pool, len(batch), func(i int) (types.Row, error) {
+		out := make(types.Row, len(op.exprs))
+		for c, ex := range op.exprs {
+			v, err := ex(batch[i])
+			if err != nil {
+				return nil, err
+			}
+			out[c] = v
+		}
+		return out, nil
+	})
+}
+
+func (op *projectOp) close() error  { return op.child.close() }
+func (op *projectOp) resident() int { return op.child.resident() }
+
+// ---- distinct ------------------------------------------------------------
+
+// distinctOp streams the first occurrence of every distinct row. Row keys
+// are computed in parallel; the membership test stays serial to preserve
+// first-occurrence order. Retained state is the key set, O(#distinct rows).
+type distinctOp struct {
+	e     *Engine
+	child operator
+	seen  map[string]bool
+	ctx   context.Context
+}
+
+func (op *distinctOp) columns() []relCol { return op.child.columns() }
+
+func (op *distinctOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	op.seen = make(map[string]bool)
+	return op.child.open(ctx)
+}
+
+func (op *distinctOp) next() ([]types.Row, error) {
+	for {
+		if err := op.ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch, err := op.child.next()
+		if err != nil {
+			return nil, err
+		}
+		keys, err := parallel.Map(op.e.pool, len(batch), func(i int) (string, error) {
+			return rowKey(batch[i]), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		uniq := batch[:0:0]
+		for i, row := range batch {
+			if !op.seen[keys[i]] {
+				op.seen[keys[i]] = true
+				uniq = append(uniq, row)
+			}
+		}
+		if len(uniq) > 0 {
+			return uniq, nil
+		}
+	}
+}
+
+func (op *distinctOp) close() error {
+	op.seen = nil
+	return op.child.close()
+}
+
+func (op *distinctOp) resident() int { return len(op.seen) + op.child.resident() }
+
+// ---- limit ---------------------------------------------------------------
+
+// limitOp stops pulling from its child once the limit is reached — upstream
+// stages never compute rows past it.
+type limitOp struct {
+	child     operator
+	remaining int64
+	ctx       context.Context
+}
+
+func (op *limitOp) columns() []relCol { return op.child.columns() }
+
+func (op *limitOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	return op.child.open(ctx)
+}
+
+func (op *limitOp) next() ([]types.Row, error) {
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if op.remaining <= 0 {
+		return nil, io.EOF
+	}
+	batch, err := op.child.next()
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(batch)) > op.remaining {
+		batch = batch[:op.remaining]
+	}
+	op.remaining -= int64(len(batch))
+	return batch, nil
+}
+
+func (op *limitOp) close() error  { return op.child.close() }
+func (op *limitOp) resident() int { return op.child.resident() }
+
+// drainOperator opens the tree, pulls every batch and closes it — the
+// materialized execution path is exactly "drain the tree".
+func drainOperator(ctx context.Context, root operator) ([]types.Row, error) {
+	if err := root.open(ctx); err != nil {
+		root.close()
+		return nil, err
+	}
+	defer root.close()
+	var rows []types.Row
+	for {
+		batch, err := root.next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, batch...)
+	}
+}

@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// sortKey is one ORDER BY key over the projected-plus-hidden row layout.
+// Plain keys read one column; secure keys (the sdb_ord comparator) read a
+// flat-key tag and mask column and compare with the masked-sign protocol.
+type sortKey struct {
+	desc   bool
+	col    int // plain key: index into the extended row; -1 for secure keys
+	tagCol int // secure key: tag column index
+	mskCol int // secure key: mask column index
+	p, n   types.Value
+}
+
+// orderSpec is a compiled ORDER BY: the keys plus the hidden expressions
+// the projection must append so every key is addressable in the row.
+type orderSpec struct {
+	keys  []sortKey
+	extra []compiledExpr // hidden columns appended after the visible output
+}
+
+// compileOrderKeys resolves ORDER BY items against the projected output
+// (aliases and projected column names first) and the pre-projection
+// relation otherwise; unresolvable-from-output keys become hidden columns
+// evaluated alongside the projection. The secure comparator
+// sdb_ord(tag, mtag, p, n) contributes two hidden columns.
+func (e *Engine) compileOrderKeys(s *sqlparser.Select, rel *relation, outCols []ResultColumn) (*orderSpec, error) {
+	ctx := e.evalCtx()
+	spec := &orderSpec{}
+	outWidth := len(outCols)
+	for _, item := range s.OrderBy {
+		k := sortKey{desc: item.Desc, col: -1}
+		if fc, ok := item.Expr.(*sqlparser.FuncCall); ok && strings.EqualFold(fc.Name, "sdb_ord") {
+			if len(fc.Args) != 4 {
+				return nil, fmt.Errorf("engine: sdb_ord expects (tag, mtag, p, n)")
+			}
+			tagE, err := compile(fc.Args[0], rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			maskE, err := compile(fc.Args[1], rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if k.p, err = evalConst(fc.Args[2], ctx); err != nil {
+				return nil, err
+			}
+			if k.n, err = evalConst(fc.Args[3], ctx); err != nil {
+				return nil, err
+			}
+			k.tagCol = outWidth + len(spec.extra)
+			k.mskCol = k.tagCol + 1
+			spec.extra = append(spec.extra, tagE, maskE)
+			spec.keys = append(spec.keys, k)
+			continue
+		}
+
+		// Alias or projected-column reference?
+		resolved := false
+		if cr, ok := item.Expr.(sqlparser.ColRef); ok && cr.Table == "" {
+			for c, oc := range outCols {
+				if strings.EqualFold(oc.Name, cr.Name) {
+					k.col = c
+					resolved = true
+					break
+				}
+			}
+		}
+		if !resolved {
+			ce, err := compile(item.Expr, rel, ctx)
+			if err != nil {
+				return nil, err
+			}
+			k.col = outWidth + len(spec.extra)
+			spec.extra = append(spec.extra, ce)
+		}
+		spec.keys = append(spec.keys, k)
+	}
+	return spec, nil
+}
+
+// compare orders two extended rows: negative when a sorts before b.
+func (sp *orderSpec) compare(a, b types.Row) (int, error) {
+	for _, k := range sp.keys {
+		var c int
+		if k.col >= 0 {
+			c = a[k.col].Compare(b[k.col])
+		} else {
+			var err error
+			c, err = secureCompare(a[k.tagCol], a[k.mskCol], b[k.tagCol], b[k.mskCol], k.p, k.n)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		if k.desc {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return 0, nil
+}
+
+// sortOp is the blocking ORDER BY sink: it materializes its input at open,
+// stable-sorts it and serves batches with the hidden key columns stripped.
+// The planner prefers topKOp when a LIMIT bounds the resident set.
+type sortOp struct {
+	e        *Engine
+	child    operator
+	spec     *orderSpec
+	outWidth int
+	batch    int
+
+	ctx  context.Context
+	win  rowWindow
+	peak residentPeak
+}
+
+func (op *sortOp) columns() []relCol { return op.child.columns()[:op.outWidth] }
+
+func (op *sortOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	if err := op.child.open(ctx); err != nil {
+		return err
+	}
+	rows, err := drainChild(ctx, op.child, &op.peak)
+	if err != nil {
+		return err
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		c, err := op.spec.compare(rows[i], rows[j])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	op.win = rowWindow{rows: rows, batch: op.batch, width: op.outWidth}
+	return nil
+}
+
+func (op *sortOp) next() ([]types.Row, error) {
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return op.win.next()
+}
+
+func (op *sortOp) close() error {
+	op.resident() // latch the final state before releasing it
+	op.win = rowWindow{}
+	return op.child.close()
+}
+
+func (op *sortOp) resident() int {
+	return op.peak.latch(op.win.remaining() + op.child.resident())
+}
+
+// topKOp is ORDER BY + LIMIT K with a bounded heap: it retains only the K
+// best rows while streaming its input, so resident memory is O(K) instead
+// of the full input. Ties break by arrival order, reproducing a stable
+// sort followed by LIMIT exactly.
+type topKOp struct {
+	e        *Engine
+	child    operator
+	spec     *orderSpec
+	k        int64
+	outWidth int
+	batch    int
+
+	ctx  context.Context
+	heap []heapItem // max-heap: worst retained row at the root
+	win  rowWindow
+	peak residentPeak
+	err  error
+}
+
+type heapItem struct {
+	row types.Row
+	seq int
+}
+
+func (op *topKOp) columns() []relCol { return op.child.columns()[:op.outWidth] }
+
+// worse reports whether a sorts after b (later keys, or equal keys and
+// later arrival). Comparator errors latch into op.err.
+func (op *topKOp) worse(a, b heapItem) bool {
+	c, err := op.spec.compare(a.row, b.row)
+	if err != nil && op.err == nil {
+		op.err = err
+	}
+	if c != 0 {
+		return c > 0
+	}
+	return a.seq > b.seq
+}
+
+func (op *topKOp) open(ctx context.Context) error {
+	op.ctx = ctx
+	if err := op.child.open(ctx); err != nil {
+		return err
+	}
+	seq := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := op.child.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, row := range batch {
+			op.push(heapItem{row: row, seq: seq})
+			seq++
+			if op.err != nil {
+				return op.err
+			}
+		}
+		op.peak.latch(len(op.heap) + len(batch) + op.child.resident())
+	}
+	op.child.close()
+
+	// Pop worst-first into the tail of the result slice.
+	rows := make([]types.Row, len(op.heap))
+	for i := len(rows) - 1; i >= 0; i-- {
+		rows[i] = op.pop().row
+		if op.err != nil {
+			return op.err
+		}
+	}
+	op.win = rowWindow{rows: rows, batch: op.batch, width: op.outWidth}
+	return nil
+}
+
+func (op *topKOp) push(it heapItem) {
+	if int64(len(op.heap)) < op.k {
+		op.heap = append(op.heap, it)
+		i := len(op.heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !op.worse(op.heap[i], op.heap[parent]) {
+				break
+			}
+			op.heap[i], op.heap[parent] = op.heap[parent], op.heap[i]
+			i = parent
+		}
+		return
+	}
+	if op.k == 0 || !op.worse(op.heap[0], it) {
+		return // not better than the worst retained row
+	}
+	op.heap[0] = it
+	op.siftDown(0)
+}
+
+func (op *topKOp) pop() heapItem {
+	top := op.heap[0]
+	last := len(op.heap) - 1
+	op.heap[0] = op.heap[last]
+	op.heap = op.heap[:last]
+	if last > 0 {
+		op.siftDown(0)
+	}
+	return top
+}
+
+func (op *topKOp) siftDown(i int) {
+	n := len(op.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && op.worse(op.heap[l], op.heap[worst]) {
+			worst = l
+		}
+		if r < n && op.worse(op.heap[r], op.heap[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		op.heap[i], op.heap[worst] = op.heap[worst], op.heap[i]
+		i = worst
+	}
+}
+
+func (op *topKOp) next() ([]types.Row, error) {
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return op.win.next()
+}
+
+func (op *topKOp) close() error {
+	op.resident() // latch the final state before releasing it
+	op.heap = nil
+	op.win = rowWindow{}
+	return op.child.close()
+}
+
+func (op *topKOp) resident() int {
+	n := len(op.heap)
+	if len(op.win.rows) > 0 {
+		n = op.win.remaining()
+	}
+	return op.peak.latch(n + op.child.resident())
+}
+
+// drainChild pulls every batch from an already-open operator, latching the
+// accumulated rows plus the child subtree into peak as it goes.
+func drainChild(ctx context.Context, child operator, peak *residentPeak) ([]types.Row, error) {
+	var rows []types.Row
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch, err := child.next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, batch...)
+		peak.latch(len(rows) + child.resident())
+	}
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"fmt"
+
+	"sdb/internal/sqlparser"
+	"sdb/internal/types"
+)
+
+// queryPlan is a compiled SELECT: the operator tree plus the visible output
+// columns (kinds are inferred from data as batches flow).
+type queryPlan struct {
+	root operator
+	cols []ResultColumn
+}
+
+// planSelect compiles a SELECT into an operator tree:
+//
+//	scan/join → filter(WHERE) → hashAgg → filter(HAVING) → project
+//	  → topK|sort(ORDER BY) → distinct → limit
+//
+// Planning snapshots every scanned table, so the caller must hold the
+// engine's read lock; execution (open/next on the returned tree) is then
+// lock-free over immutable snapshots. The stage order after the projection
+// matches the legacy materialized pipeline (sort, then dedup, then limit).
+func (e *Engine) planSelect(s *sqlparser.Select) (*queryPlan, error) {
+	src, err := e.planFrom(s.From)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.evalCtx()
+
+	// WHERE
+	if s.Where != nil {
+		pred, err := compile(s.Where, &relation{cols: src.columns()}, ctx)
+		if err != nil {
+			return nil, err
+		}
+		src = &filterOp{e: e, child: src, pred: pred}
+	}
+
+	// Aggregation: the select is rewritten so later stages reference the
+	// aggregate output columns (_gN/_aN) instead of aggregate calls.
+	aggs := collectAggregates(s)
+	if len(aggs) > 0 || len(s.GroupBy) > 0 {
+		src, s, err = e.planAggregate(src, s, aggs)
+		if err != nil {
+			return nil, err
+		}
+		if s.Having != nil {
+			pred, err := compile(s.Having, &relation{cols: src.columns()}, ctx)
+			if err != nil {
+				return nil, err
+			}
+			src = &filterOp{e: e, child: src, pred: pred}
+		}
+	} else if s.Having != nil {
+		return nil, fmt.Errorf("engine: HAVING without aggregation")
+	}
+
+	// Projection, with hidden ORDER BY key columns appended when the keys
+	// are not addressable in the visible output.
+	inRel := &relation{cols: src.columns()}
+	outCols, outExprs, err := e.projection(s, inRel)
+	if err != nil {
+		return nil, err
+	}
+	var ospec *orderSpec
+	exprs := outExprs
+	if len(s.OrderBy) > 0 {
+		if ospec, err = e.compileOrderKeys(s, inRel, outCols); err != nil {
+			return nil, err
+		}
+		exprs = append(append([]compiledExpr{}, outExprs...), ospec.extra...)
+	}
+	projSchema := make([]relCol, len(exprs))
+	for i, oc := range outCols {
+		projSchema[i] = relCol{name: oc.Name, kind: oc.Kind}
+	}
+	for i := len(outCols); i < len(exprs); i++ {
+		projSchema[i] = relCol{name: fmt.Sprintf("_ord%d", i-len(outCols)), hidden: true}
+	}
+	var root operator = &projectOp{e: e, child: src, exprs: exprs, schema: projSchema}
+
+	// ORDER BY: a bounded top-K heap when LIMIT caps the result (and
+	// DISTINCT does not need the full sorted set first), else a sort sink.
+	if ospec != nil {
+		if s.Limit != nil && !s.Distinct {
+			root = &topKOp{e: e, child: root, spec: ospec, k: *s.Limit, outWidth: len(outCols), batch: e.batchRows()}
+		} else {
+			root = &sortOp{e: e, child: root, spec: ospec, outWidth: len(outCols), batch: e.batchRows()}
+		}
+	}
+
+	// DISTINCT, then LIMIT (legacy stage order).
+	if s.Distinct {
+		root = &distinctOp{e: e, child: root}
+	}
+	if s.Limit != nil {
+		root = &limitOp{child: root, remaining: *s.Limit}
+	}
+	return &queryPlan{root: root, cols: outCols}, nil
+}
+
+// planFrom assembles the FROM clause into one operator (comma-separated
+// refs cross-join left-deep; JOIN…ON plans hash or nested-loop joins).
+func (e *Engine) planFrom(refs []sqlparser.TableRef) (operator, error) {
+	if len(refs) == 0 {
+		// SELECT without FROM: a single empty row.
+		return &valuesOp{rows: []types.Row{{}}}, nil
+	}
+	var src operator
+	for _, ref := range refs {
+		r, err := e.planRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		if src == nil {
+			src = r
+			continue
+		}
+		schema := append(append([]relCol{}, src.columns()...), r.columns()...)
+		src = &nestedLoopJoinOp{e: e, left: src, right: r, schema: schema, batch: e.batchRows()}
+	}
+	return src, nil
+}
+
+func (e *Engine) planRef(ref sqlparser.TableRef) (operator, error) {
+	switch r := ref.(type) {
+	case sqlparser.TableName:
+		t, err := e.catalog.Get(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Name
+		}
+		return newScanOp(t, alias, e.batchRows()), nil
+
+	case *sqlparser.SubqueryRef:
+		sub, err := e.planSelect(r.Sel)
+		if err != nil {
+			return nil, err
+		}
+		schema := make([]relCol, len(sub.cols))
+		for i, c := range sub.cols {
+			schema[i] = relCol{qual: lowered(r.Alias), name: lowered(c.Name), kind: c.Kind}
+		}
+		return &renameOp{child: sub.root, schema: schema}, nil
+
+	case *sqlparser.JoinRef:
+		left, err := e.planRef(r.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.planRef(r.Right)
+		if err != nil {
+			return nil, err
+		}
+		return e.planJoin(left, right, r.On)
+
+	default:
+		return nil, fmt.Errorf("engine: unsupported FROM item %T", ref)
+	}
+}

@@ -17,7 +17,9 @@ type relCol struct {
 	hidden bool // auxiliary columns excluded from SELECT *
 }
 
-// relation is a materialised intermediate result.
+// relation is a column schema plus (optionally) materialised rows. The
+// streaming operator tree uses schema-only relations to bind expressions;
+// the UPDATE path still materialises one via scanTable.
 type relation struct {
 	cols []relCol
 	rows []types.Row
@@ -50,26 +52,37 @@ func (r *relation) resolve(qual, name string) (int, error) {
 	return found, nil
 }
 
-// scanTable materialises a stored table as a relation under the alias. The
-// two SDB auxiliary columns (encrypted row id and the row helper w) are
-// appended as hidden columns so rewritten queries can reference them.
-func scanTable(t *storage.Table, alias string) *relation {
+func lowered(s string) string { return strings.ToLower(s) }
+
+// tableSchema is the relational schema of a stored table under an alias:
+// its columns (sensitive ones surface as shares) plus the two hidden SDB
+// auxiliary columns (encrypted row id and the row helper w) that rewritten
+// queries reference.
+func tableSchema(t *storage.Table, alias string) []relCol {
 	if alias == "" {
 		alias = t.Name
 	}
 	alias = strings.ToLower(alias)
-	rel := &relation{}
+	cols := make([]relCol, 0, len(t.Schema.Columns)+2)
 	for _, c := range t.Schema.Columns {
 		kind := c.Type.Kind
 		if c.Type.Sensitive {
 			kind = types.KindShare
 		}
-		rel.cols = append(rel.cols, relCol{qual: alias, name: strings.ToLower(c.Name), kind: kind})
+		cols = append(cols, relCol{qual: alias, name: strings.ToLower(c.Name), kind: kind})
 	}
-	rel.cols = append(rel.cols,
+	return append(cols,
 		relCol{qual: alias, name: RowIDColumn, kind: types.KindShare, hidden: true},
 		relCol{qual: alias, name: HelperColumn, kind: types.KindShare, hidden: true},
 	)
+}
+
+// scanTable materialises a stored table as a relation under the alias
+// (copying every row value into the snapshot). The streaming SELECT path
+// uses scanOp instead; this remains for UPDATE, which needs a stable
+// snapshot to evaluate SET expressions against while it rewrites columns.
+func scanTable(t *storage.Table, alias string) *relation {
+	rel := &relation{cols: tableSchema(t, alias)}
 	width := len(t.Schema.Columns)
 	rel.rows = make([]types.Row, t.NumRows())
 	for i := 0; i < t.NumRows(); i++ {
@@ -82,199 +95,6 @@ func scanTable(t *storage.Table, alias string) *relation {
 		rel.rows[i] = row
 	}
 	return rel
-}
-
-// buildFrom assembles the FROM clause into a single relation (cross product
-// of comma-separated refs; JOIN…ON handled with a hash or nested-loop join).
-func (e *Engine) buildFrom(refs []sqlparser.TableRef) (*relation, error) {
-	if len(refs) == 0 {
-		// SELECT without FROM: a single empty row.
-		return &relation{rows: []types.Row{{}}}, nil
-	}
-	var rel *relation
-	for _, ref := range refs {
-		r, err := e.buildRef(ref)
-		if err != nil {
-			return nil, err
-		}
-		if rel == nil {
-			rel = r
-		} else {
-			rel = crossJoin(rel, r)
-		}
-	}
-	return rel, nil
-}
-
-func (e *Engine) buildRef(ref sqlparser.TableRef) (*relation, error) {
-	switch r := ref.(type) {
-	case sqlparser.TableName:
-		t, err := e.catalog.Get(r.Name)
-		if err != nil {
-			return nil, err
-		}
-		alias := r.Alias
-		if alias == "" {
-			alias = r.Name
-		}
-		return scanTable(t, alias), nil
-
-	case *sqlparser.SubqueryRef:
-		res, err := e.execSelect(r.Sel)
-		if err != nil {
-			return nil, err
-		}
-		rel := &relation{rows: res.Rows}
-		for _, c := range res.Columns {
-			rel.cols = append(rel.cols, relCol{
-				qual: strings.ToLower(r.Alias),
-				name: strings.ToLower(c.Name),
-				kind: c.Kind,
-			})
-		}
-		return rel, nil
-
-	case *sqlparser.JoinRef:
-		left, err := e.buildRef(r.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := e.buildRef(r.Right)
-		if err != nil {
-			return nil, err
-		}
-		return e.innerJoin(left, right, r.On)
-
-	default:
-		return nil, fmt.Errorf("engine: unsupported FROM item %T", ref)
-	}
-}
-
-func crossJoin(a, b *relation) *relation {
-	out := &relation{cols: append(append([]relCol{}, a.cols...), b.cols...)}
-	out.rows = make([]types.Row, 0, len(a.rows)*len(b.rows))
-	for _, ra := range a.rows {
-		for _, rb := range b.rows {
-			row := make(types.Row, 0, len(ra)+len(rb))
-			row = append(row, ra...)
-			row = append(row, rb...)
-			out.rows = append(out.rows, row)
-		}
-	}
-	return out
-}
-
-// innerJoin evaluates JOIN … ON. Equality conditions between one side each
-// use a hash join; everything else falls back to a nested loop over the
-// cross product.
-func (e *Engine) innerJoin(a, b *relation, on sqlparser.Expr) (*relation, error) {
-	joined := &relation{cols: append(append([]relCol{}, a.cols...), b.cols...)}
-
-	// Try hash join: ON must be a conjunction containing at least one
-	// l = r with l bound to a and r bound to b (or vice versa).
-	eqs, rest := splitConjuncts(on)
-	var leftKeys, rightKeys []compiledExpr
-	var residual []sqlparser.Expr
-	ctx := e.evalCtx()
-	for _, eq := range eqs {
-		be, ok := eq.(*sqlparser.BinaryExpr)
-		if !ok || be.Op != "=" {
-			residual = append(residual, eq)
-			continue
-		}
-		lc, errL := compile(be.L, a, ctx)
-		rc, errR := compile(be.R, b, ctx)
-		if errL == nil && errR == nil {
-			leftKeys = append(leftKeys, lc)
-			rightKeys = append(rightKeys, rc)
-			continue
-		}
-		lc2, errL2 := compile(be.R, a, ctx)
-		rc2, errR2 := compile(be.L, b, ctx)
-		if errL2 == nil && errR2 == nil {
-			leftKeys = append(leftKeys, lc2)
-			rightKeys = append(rightKeys, rc2)
-			continue
-		}
-		residual = append(residual, eq)
-	}
-	residual = append(residual, rest...)
-
-	if len(leftKeys) > 0 {
-		// Build on the smaller side? Keep simple: build on b.
-		index := make(map[string][]types.Row)
-		for _, rb := range b.rows {
-			key, err := joinKey(rightKeys, rb)
-			if err != nil {
-				return nil, err
-			}
-			index[key] = append(index[key], rb)
-		}
-		var resid compiledExpr
-		if len(residual) > 0 {
-			conj := conjoin(residual)
-			var err error
-			if resid, err = compile(conj, joined, ctx); err != nil {
-				return nil, err
-			}
-		}
-		for _, ra := range a.rows {
-			key, err := joinKey(leftKeys, ra)
-			if err != nil {
-				return nil, err
-			}
-			for _, rb := range index[key] {
-				row := make(types.Row, 0, len(ra)+len(rb))
-				row = append(row, ra...)
-				row = append(row, rb...)
-				if resid != nil {
-					ok, err := resid(row)
-					if err != nil {
-						return nil, err
-					}
-					if !ok.Bool() {
-						continue
-					}
-				}
-				joined.rows = append(joined.rows, row)
-			}
-		}
-		return joined, nil
-	}
-
-	// Nested loop.
-	cond, err := compile(on, joined, ctx)
-	if err != nil {
-		return nil, err
-	}
-	for _, ra := range a.rows {
-		for _, rb := range b.rows {
-			row := make(types.Row, 0, len(ra)+len(rb))
-			row = append(row, ra...)
-			row = append(row, rb...)
-			ok, err := cond(row)
-			if err != nil {
-				return nil, err
-			}
-			if ok.Bool() {
-				joined.rows = append(joined.rows, row)
-			}
-		}
-	}
-	return joined, nil
-}
-
-func joinKey(keys []compiledExpr, row types.Row) (string, error) {
-	var sb strings.Builder
-	for _, k := range keys {
-		v, err := k(row)
-		if err != nil {
-			return "", err
-		}
-		sb.WriteString(v.GroupKey())
-		sb.WriteByte('|')
-	}
-	return sb.String(), nil
 }
 
 // splitConjuncts flattens an AND tree into its conjuncts.

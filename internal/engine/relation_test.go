@@ -50,17 +50,18 @@ func TestScanTableExposesAuxAsHidden(t *testing.T) {
 }
 
 func TestCrossJoinCardinality(t *testing.T) {
-	a := &relation{
-		cols: []relCol{{qual: "a", name: "x"}},
-		rows: []types.Row{{types.NewInt(1)}, {types.NewInt(2)}},
+	e := New(storage.NewCatalog(), nil)
+	mustExec(t, e, `CREATE TABLE a (x INT)`)
+	mustExec(t, e, `INSERT INTO a VALUES (1), (2)`)
+	mustExec(t, e, `CREATE TABLE b (y INT)`)
+	mustExec(t, e, `INSERT INTO b VALUES (10), (20), (30)`)
+	res := mustExec(t, e, `SELECT x, y FROM a, b`)
+	if len(res.Rows) != 6 || len(res.Columns) != 2 {
+		t.Errorf("cross join: %d rows, %d cols", len(res.Rows), len(res.Columns))
 	}
-	b := &relation{
-		cols: []relCol{{qual: "b", name: "y"}},
-		rows: []types.Row{{types.NewInt(10)}, {types.NewInt(20)}, {types.NewInt(30)}},
-	}
-	j := crossJoin(a, b)
-	if len(j.rows) != 6 || len(j.cols) != 2 {
-		t.Errorf("cross join: %d rows, %d cols", len(j.rows), len(j.cols))
+	// Left-deep comma order: a's rows outer, b's rows inner.
+	if res.Rows[0][0].I != 1 || res.Rows[0][1].I != 10 || res.Rows[1][1].I != 20 {
+		t.Errorf("cross join order: %v", res.Rows)
 	}
 }
 

@@ -69,22 +69,31 @@ func (s *Stmt) SQL() string { return s.src }
 func (s *Stmt) Close() error { return nil }
 
 // Query executes the statement and returns a streaming cursor. SELECTs
-// stream their projection stage batch by batch with ctx checked between
-// batches; sorting and dedup are blocking, so ORDER BY/DISTINCT results are
-// materialized first and then served in batches. Non-SELECT statements
-// execute eagerly and return their (small) result as a one-shot stream.
+// plan the full operator tree — every stage streams, blocking operators
+// (hash-join build, aggregation state, top-K heaps) retain only their
+// bounded state — with ctx checked between batches at every operator.
+// Non-SELECT statements execute eagerly and return their (small) result as
+// a one-shot stream.
 func (s *Stmt) Query(ctx context.Context) (RowIterator, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if sel, ok := s.stmt.(*sqlparser.Select); ok {
-		// The read lock spans the blocking stages only: buildSelect
-		// snapshots the source relation, so the returned iterator
-		// projects lock-free and concurrent writers are not starved by
-		// open cursors.
+		// The read lock spans planning only: every scan in the tree
+		// snapshots its table's immutable column arrays (UPDATE swaps them
+		// copy-on-write), so the returned iterator executes lock-free and
+		// concurrent writers are not starved by open cursors.
 		s.e.execMu.RLock()
 		defer s.e.execMu.RUnlock()
-		return s.e.querySelect(ctx, sel)
+		pl, err := s.e.planSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		return &opIterator{
+			ctx:  ctx,
+			root: pl.root,
+			cols: append([]ResultColumn{}, pl.cols...),
+		}, nil
 	}
 	res, err := s.e.Execute(s.stmt)
 	if err != nil {
@@ -116,51 +125,32 @@ func (e *Engine) batchRows() int {
 	return b
 }
 
-func (e *Engine) querySelect(ctx context.Context, s *sqlparser.Select) (RowIterator, error) {
-	se, err := e.buildSelect(s)
-	if err != nil {
-		return nil, err
-	}
-	if se.needMaterialize() {
-		res, err := e.materializeSelect(se)
-		if err != nil {
-			return nil, err
-		}
-		return NewSliceIterator(res.Columns, res.Rows, e.batchRows()), nil
-	}
-	limit := int64(-1)
-	if s.Limit != nil {
-		limit = *s.Limit
-	}
-	return &projIterator{
-		ctx:       ctx,
-		e:         e,
-		se:        se,
-		batch:     e.batchRows(),
-		remaining: limit,
-		cols:      append([]ResultColumn{}, se.outCols...),
-	}, nil
-}
+// opIterator adapts an operator tree to the RowIterator interface, opening
+// it lazily on the first batch and accounting peak resident rows at every
+// batch boundary.
+type opIterator struct {
+	ctx  context.Context
+	root operator
+	cols []ResultColumn
 
-// projIterator streams the projection stage of a SELECT over its final
-// relation: each NextBatch evaluates the select list for the next batch of
-// rows (parallel chunks on the pool) and checks ctx between batches.
-type projIterator struct {
-	ctx       context.Context
-	e         *Engine
-	se        *selectExec
-	batch     int
-	pos       int
-	remaining int64 // LIMIT countdown; -1 means unlimited
-	cols      []ResultColumn
-
-	pending  []types.Row // batch computed early by Columns()
+	opened   bool
 	inferred bool
 	done     bool
 	err      error
+	pending  []types.Row // batch computed early by Columns()
+	stats    ExecStats
 }
 
-func (it *projIterator) Columns() []ResultColumn {
+// Stats reports the execution-memory accounting accumulated so far.
+func (it *opIterator) Stats() ExecStats { return it.stats }
+
+func (it *opIterator) sampleResident(batchLen int) {
+	if res := it.root.resident() + batchLen; res > it.stats.PeakResidentRows {
+		it.stats.PeakResidentRows = res
+	}
+}
+
+func (it *opIterator) Columns() []ResultColumn {
 	if !it.inferred && !it.done && it.err == nil && it.pending == nil {
 		// Compute (and buffer) the first batch so kinds are known.
 		rows, err := it.produce()
@@ -177,7 +167,7 @@ func (it *projIterator) Columns() []ResultColumn {
 	return it.cols
 }
 
-func (it *projIterator) NextBatch() ([]types.Row, error) {
+func (it *opIterator) NextBatch() ([]types.Row, error) {
 	if it.err != nil {
 		return nil, it.err
 	}
@@ -193,6 +183,7 @@ func (it *projIterator) NextBatch() ([]types.Row, error) {
 	if err != nil {
 		if err == io.EOF {
 			it.done = true
+			it.root.close()
 		} else {
 			it.err = err
 		}
@@ -201,29 +192,29 @@ func (it *projIterator) NextBatch() ([]types.Row, error) {
 	return rows, nil
 }
 
-// produce computes the next projected batch, honouring ctx and LIMIT.
-func (it *projIterator) produce() ([]types.Row, error) {
+// produce pulls the next batch from the tree, honouring ctx.
+func (it *opIterator) produce() ([]types.Row, error) {
 	if err := it.ctx.Err(); err != nil {
 		return nil, err
 	}
-	if it.pos >= len(it.se.rel.rows) || it.remaining == 0 {
-		return nil, io.EOF
+	if !it.opened {
+		if err := it.root.open(it.ctx); err != nil {
+			it.root.close()
+			return nil, err
+		}
+		it.opened = true
 	}
-	hi := it.pos + it.batch
-	if hi > len(it.se.rel.rows) {
-		hi = len(it.se.rel.rows)
-	}
-	if it.remaining >= 0 && int64(hi-it.pos) > it.remaining {
-		hi = it.pos + int(it.remaining)
-	}
-	rows, err := it.e.projectRange(it.se, it.pos, hi)
+	rows, err := it.root.next()
 	if err != nil {
+		if err == io.EOF {
+			// Operators latch drain-time high-water marks, so even a query
+			// whose blocking stages did all the work before the first (or
+			// only) batch reports its true peak.
+			it.sampleResident(0)
+		}
 		return nil, err
 	}
-	it.pos = hi
-	if it.remaining > 0 {
-		it.remaining -= int64(len(rows))
-	}
+	it.sampleResident(len(rows))
 	if !it.inferred {
 		inferKinds(it.cols, rows)
 		it.inferred = true
@@ -231,12 +222,12 @@ func (it *projIterator) produce() ([]types.Row, error) {
 	return rows, nil
 }
 
-func (it *projIterator) Close() error {
+func (it *opIterator) Close() error {
 	it.done = true
 	it.pending = nil
-	// Drop the relation so a closed cursor does not pin source rows.
-	it.se = nil
-	it.e = nil
+	if it.root != nil {
+		it.root.close()
+	}
 	return nil
 }
 

@@ -36,6 +36,14 @@ go test ${SHORT_FLAG} ./...
 echo "== go test -race"
 go test -race ${SHORT_FLAG} ./...
 
+echo "== bench smoke (peak-resident-rows assertions)"
+# One iteration of the streaming-memory benchmarks: BenchmarkStreamScan
+# asserts scan batches stay within the pool bound and
+# BenchmarkStreamScanJoinAgg asserts a join+aggregate pipeline stays within
+# build-side + aggregation-state + O(batch) resident rows. Both b.Fatal on
+# violation, so this is a correctness gate, not a measurement.
+go test -run=NONE -bench=StreamScan -benchtime=1x .
+
 if [[ -z "${SHORT_FLAG}" ]]; then
   echo "== fuzz smoke (10s per target)"
   go test -run xxx -fuzz FuzzLex        -fuzztime 10s ./internal/sqlparser
