@@ -478,88 +478,125 @@ func BenchmarkStreamScan(b *testing.B) {
 // ExecStats accounting — instead of the full joined intermediate result
 // (30000 rows here). Plaintext engine with fixed pool geometry so the
 // bound is machine-independent.
+//
+// The spill-off variant runs unbudgeted (build + groups resident); the
+// spill-on variant runs under a memory budget smaller than either the
+// build side or the group table, asserts the operators actually spilled,
+// and asserts PeakResidentRows stayed at or under the budget — the
+// memory-budget acceptance claim, as a b.Fatal correctness gate in CI.
 func BenchmarkStreamScanJoinAgg(b *testing.B) {
 	const (
-		factRows  = 30000
-		dimRows   = 200
-		workers   = 4
-		chunk     = 256
-		batchSize = workers * chunk
+		factRows = 30000
+		dimRows  = 1200
+		workers  = 4
+		chunk    = 64 // batch = 256 rows, small against the spill budget
+		budget   = 2048
 	)
-	eng := engine.NewWithOptions(storage.NewCatalog(), nil,
-		engine.Options{Parallelism: workers, ChunkSize: chunk})
-	mustExec := func(sql string) {
-		b.Helper()
-		if _, err := eng.ExecuteSQL(sql); err != nil {
-			b.Fatal(err)
+	newEng := func(budgetRows int) *engine.Engine {
+		eng := engine.NewWithOptions(storage.NewCatalog(), nil,
+			engine.Options{Parallelism: workers, ChunkSize: chunk, MemBudgetRows: budgetRows, SpillDir: b.TempDir()})
+		mustExec := func(sql string) {
+			b.Helper()
+			if _, err := eng.ExecuteSQL(sql); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	mustExec(`CREATE TABLE fact (f_key INT, f_val INT)`)
-	mustExec(`CREATE TABLE dim (d_key INT, d_val INT)`)
-	for lo := 0; lo < factRows; lo += 1000 {
+		mustExec(`CREATE TABLE fact (f_key INT, f_val INT)`)
+		mustExec(`CREATE TABLE dim (d_key INT, d_val INT)`)
+		for lo := 0; lo < factRows; lo += 1000 {
+			var sb strings.Builder
+			sb.WriteString("INSERT INTO fact VALUES ")
+			for i := lo; i < lo+1000; i++ {
+				if i > lo {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "(%d, %d)", i%dimRows, i%97)
+			}
+			mustExec(sb.String())
+		}
 		var sb strings.Builder
-		sb.WriteString("INSERT INTO fact VALUES ")
-		for i := lo; i < lo+1000; i++ {
-			if i > lo {
+		sb.WriteString("INSERT INTO dim VALUES ")
+		for i := 0; i < dimRows; i++ {
+			if i > 0 {
 				sb.WriteString(", ")
 			}
-			fmt.Fprintf(&sb, "(%d, %d)", i%dimRows, i%97)
+			fmt.Fprintf(&sb, "(%d, %d)", i, i*3)
 		}
 		mustExec(sb.String())
+		return eng
 	}
-	var sb strings.Builder
-	sb.WriteString("INSERT INTO dim VALUES ")
-	for i := 0; i < dimRows; i++ {
-		if i > 0 {
-			sb.WriteString(", ")
-		}
-		fmt.Fprintf(&sb, "(%d, %d)", i, i*3)
-	}
-	mustExec(sb.String())
 
 	// Q3-shaped: equi-join, grouped aggregates over the joined stream.
 	const sql = `SELECT d_key, COUNT(*), SUM(f_val)
 		FROM fact JOIN dim ON f_key = d_key GROUP BY d_key`
-	// Build side + group state + a few in-flight batches across the
-	// pipeline stages; the joined intermediate alone is 30000 rows.
-	const bound = dimRows + dimRows + 6*batchSize
 
-	b.ReportAllocs()
-	b.ResetTimer()
-	peak, total := 0, 0
-	for i := 0; i < b.N; i++ {
-		it, err := eng.QuerySQL(context.Background(), sql)
-		if err != nil {
-			b.Fatal(err)
-		}
-		total = 0
-		for {
-			batch, err := it.NextBatch()
-			if err == io.EOF {
-				break
-			}
+	run := func(b *testing.B, eng *engine.Engine, check func(b *testing.B, peak int, stats engine.ExecStats)) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		peak, total := 0, 0
+		var last engine.ExecStats
+		for i := 0; i < b.N; i++ {
+			it, err := eng.QuerySQL(context.Background(), sql)
 			if err != nil {
 				b.Fatal(err)
 			}
-			total += len(batch)
+			total = 0
+			for {
+				batch, err := it.NextBatch()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(batch)
+			}
+			last = it.(interface{ Stats() engine.ExecStats }).Stats()
+			it.Close()
+			if last.PeakResidentRows > peak {
+				peak = last.PeakResidentRows
+			}
 		}
-		stats := it.(interface{ Stats() engine.ExecStats }).Stats()
-		it.Close()
-		if stats.PeakResidentRows > peak {
-			peak = stats.PeakResidentRows
+		if total != dimRows {
+			b.Fatalf("aggregated %d groups, want %d", total, dimRows)
 		}
+		check(b, peak, last)
+		b.ReportMetric(float64(peak), "peak-rows")
+		b.ReportMetric(float64(last.SpilledRows), "spilled-rows")
+		b.ReportMetric(float64(factRows*b.N)/b.Elapsed().Seconds(), "rows/s")
 	}
-	if total != dimRows {
-		b.Fatalf("aggregated %d groups, want %d", total, dimRows)
-	}
-	if peak > bound {
-		b.Fatalf("peak resident rows %d exceeds build-side+state+O(batch) bound %d", peak, bound)
-	}
-	if peak >= factRows {
-		b.Fatalf("peak resident rows %d not bounded below the %d-row joined intermediate", peak, factRows)
-	}
-	b.ReportMetric(float64(peak), "peak-rows")
-	b.ReportMetric(float64(factRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+
+	b.Run("spill-off", func(b *testing.B) {
+		// Build side + group state + a few in-flight batches across the
+		// pipeline stages; the joined intermediate alone is 30000 rows.
+		// Group state is workers × groups: every pool worker accumulates
+		// its own partial table, so a hot key is resident once per worker
+		// until the drain-end merge.
+		const bound = dimRows + workers*dimRows + 6*workers*chunk
+		run(b, newEng(-1), func(b *testing.B, peak int, stats engine.ExecStats) {
+			if stats.Spills != 0 {
+				b.Fatalf("unbudgeted run spilled: %+v", stats)
+			}
+			if peak > bound {
+				b.Fatalf("peak resident rows %d exceeds build-side+state+O(batch) bound %d", peak, bound)
+			}
+			if peak >= factRows {
+				b.Fatalf("peak resident rows %d not bounded below the %d-row joined intermediate", peak, factRows)
+			}
+		})
+	})
+
+	b.Run("spill-on", func(b *testing.B) {
+		run(b, newEng(budget), func(b *testing.B, peak int, stats engine.ExecStats) {
+			if stats.Spills == 0 {
+				b.Fatalf("budgeted run did not spill (build %d, groups %d, budget %d): %+v",
+					dimRows, dimRows, budget, stats)
+			}
+			if peak > budget {
+				b.Fatalf("peak resident rows %d exceeds the %d-row budget", peak, budget)
+			}
+		})
+	})
 }
 
 // BenchmarkClientServerBreakdown is experiment E3: the demo's step-2 claim

@@ -28,14 +28,16 @@ import (
 	"sdb/internal/tpch"
 )
 
-// execOpts carries the parallel-execution knobs into deployments.
+// execOpts carries the parallel-execution and memory-budget knobs into
+// deployments.
 type execOpts struct {
-	parallel int
-	chunk    int
+	parallel  int
+	chunk     int
+	memBudget int
 }
 
 func (o execOpts) engine() engine.Options {
-	return engine.Options{Parallelism: o.parallel, ChunkSize: o.chunk}
+	return engine.Options{Parallelism: o.parallel, ChunkSize: o.chunk, MemBudgetRows: o.memBudget}
 }
 
 func (o execOpts) proxy() proxy.Options {
@@ -48,8 +50,9 @@ func main() {
 	bits := flag.Int("bits", 512, "modulus width for ops experiment and deployments")
 	par := flag.Int("parallel", 0, "secure-operator worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "rows per evaluation chunk (0 = default 1024)")
+	memBudget := flag.Int("mem-budget", 0, "per-query resident-row budget; blocking operators spill past it (0 = SDB_MEM_BUDGET_ROWS or unlimited, <0 = unlimited)")
 	flag.Parse()
-	opts := execOpts{parallel: *par, chunk: *chunk}
+	opts := execOpts{parallel: *par, chunk: *chunk, memBudget: *memBudget}
 
 	switch *exp {
 	case "coverage":

@@ -24,6 +24,8 @@ func main() {
 	public := flag.String("public", "", "public parameters file written by 'sdb keygen'")
 	par := flag.Int("parallel", 0, "secure-operator worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "rows per evaluation chunk (0 = default 1024)")
+	memBudget := flag.Int("mem-budget", 0, "per-query resident-row budget; blocking operators spill to disk past it (0 = SDB_MEM_BUDGET_ROWS or unlimited, <0 = unlimited)")
+	spillDir := flag.String("spill-dir", "", "directory for spill temp files (default SDB_SPILL_DIR or the system temp dir)")
 	flag.Parse()
 
 	if *public == "" {
@@ -38,7 +40,10 @@ func main() {
 		log.Fatalf("sdb-server: %v", err)
 	}
 
-	srv := server.NewWithOptions(params.N, engine.Options{Parallelism: *par, ChunkSize: *chunk})
+	srv := server.NewWithOptions(params.N, engine.Options{
+		Parallelism: *par, ChunkSize: *chunk,
+		MemBudgetRows: *memBudget, SpillDir: *spillDir,
+	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("sdb-server: %v", err)

@@ -4,13 +4,19 @@
 //
 // Two DSN forms are supported:
 //
-//	mem://?bits=512&parallel=0&chunk=0
+//	mem://?bits=512&parallel=0&chunk=0&mem_budget=0
 //	    An embedded deployment: fresh scheme secrets and an in-process
 //	    service-provider engine. Handy for tests and the quickstart.
+//	    mem_budget caps each query's resident rows in the embedded
+//	    engine — blocking operators (join builds, aggregation tables,
+//	    sort sinks) spill to temp files instead of crossing it (0 =
+//	    engine default, negative = unlimited).
 //
 //	tcp://host:port?secret=do.key&parallel=0&chunk=0
 //	    Connect to a remote sdb-server. secret names the data-owner key
-//	    file written by `sdb keygen`; it never leaves the client.
+//	    file written by `sdb keygen`; it never leaves the client. The
+//	    memory budget of a remote deployment is the server's -mem-budget
+//	    flag — execution memory lives there, not in the client.
 //
 // All connections of one sql.DB share a single proxy (and therefore one
 // key store): the proxy is the data owner's trust boundary, so pooled
@@ -139,7 +145,10 @@ func (c *Connector) proxy() (*proxy.Proxy, error) {
 			return nil, fmt.Errorf("sdb: setup: %w", err)
 		}
 		eng := engine.NewWithOptions(storage.NewCatalog(), secret.N(),
-			engine.Options{Parallelism: opts.Parallelism, ChunkSize: opts.ChunkSize})
+			engine.Options{
+				Parallelism: opts.Parallelism, ChunkSize: opts.ChunkSize,
+				MemBudgetRows: atoiDefault(q.Get("mem_budget"), 0),
+			})
 		p, err := proxy.NewWithOptions(secret, eng, opts)
 		if err != nil {
 			return nil, err

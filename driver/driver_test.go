@@ -4,8 +4,11 @@ import (
 	"context"
 	"database/sql"
 	"fmt"
+	"os"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sdb/internal/engine"
 	"sdb/internal/proxy"
@@ -243,5 +246,87 @@ func TestDriverCancelledInsert(t *testing.T) {
 	}
 	if n != 0 {
 		t.Fatalf("table has %d rows after cancelled INSERT, want 0", n)
+	}
+}
+
+// TestDriverMemBudgetSpill drives the mem_budget DSN knob end to end:
+// a budget far below the sort input forces the embedded engine to spill,
+// the full result must still come back in exact order, and closing the
+// *sql.Rows mid-stream must leave the spill directory empty.
+func TestDriverMemBudgetSpill(t *testing.T) {
+	spillDir := t.TempDir()
+	t.Setenv(engine.SpillDirEnv, spillDir)
+	db, err := sql.Open("sdb", "mem://?bits=256&parallel=2&chunk=8&mem_budget=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE big (id INT, v INT SENSITIVE)`); err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < 1200; lo += 300 {
+		var sb strings.Builder
+		sb.WriteString(`INSERT INTO big VALUES `)
+		for i := lo; i < lo+300; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i, (i*37)%1009)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Full drain: spilled ORDER BY over an encrypted column's plaintext
+	// mirror — rows must arrive fully sorted.
+	rows, err := db.Query(`SELECT id, v FROM big ORDER BY v, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevV, prevID, n := int64(-1), int64(-1), 0
+	for rows.Next() {
+		var id, v int64
+		if err := rows.Scan(&id, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v < prevV || (v == prevV && id <= prevID) {
+			t.Fatalf("row %d out of order: (%d,%d) after (%d,%d)", n, v, id, prevV, prevID)
+		}
+		prevV, prevID = v, id
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1200 {
+		t.Fatalf("scanned %d rows, want 1200", n)
+	}
+
+	// Mid-stream Rows.Close on a spilling query: no temp files may
+	// survive it.
+	rows, err = db.Query(`SELECT id, v FROM big ORDER BY v, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, err := os.ReadDir(spillDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Rows.Close left %d spill entries behind", len(entries))
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/big"
+	"sort"
 	"strings"
 
 	"sdb/internal/secure"
@@ -184,10 +185,36 @@ func (sp *aggSpec) evalArgs(row types.Row) ([]types.Value, error) {
 // and final produces the output value. All transitions and merges are
 // associative-and-deterministic by construction, so partitioned execution
 // reproduces the serial fold exactly.
+// Every state also round-trips through one codec row (spillRow /
+// loadSpillRow), which is what lets grouped state spill to disk and merge
+// back without changing results.
 type aggState interface {
-	add(vals []types.Value) error
+	// add folds one row's argument values in and reports how many new
+	// auxiliary entries (DISTINCT dedup keys) the state retained for it,
+	// so callers can track resident weight incrementally in O(1) per row.
+	add(vals []types.Value) (int, error)
 	merge(other aggState) error
 	final() (types.Value, error)
+	// spillRow serializes the state as one spill-codec row.
+	spillRow() (types.Row, error)
+	// loadSpillRow restores a spillRow into a freshly-constructed state
+	// of the same spec.
+	loadSpillRow(row types.Row) error
+	// retained reports the auxiliary entries the state holds beyond the
+	// group row itself — DISTINCT dedup sets — so budget accounting sees
+	// per-group state that grows with input cardinality.
+	retained() int
+}
+
+// sortedKeys returns a map's keys in sorted order, so spilled state is
+// byte-deterministic regardless of map iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // ---- COUNT ----------------------------------------------------------------
@@ -198,21 +225,25 @@ type countState struct {
 	seen           map[string]bool
 }
 
-func (st *countState) add(vals []types.Value) error {
+func (st *countState) add(vals []types.Value) (int, error) {
 	if st.star {
 		st.n++
-		return nil
+		return 0, nil
 	}
 	v := vals[0]
 	if v.IsNull() {
-		return nil
+		return 0, nil
 	}
 	if st.distinct {
-		st.seen[v.GroupKey()] = true
-		return nil
+		k := v.GroupKey()
+		if st.seen[k] {
+			return 0, nil
+		}
+		st.seen[k] = true
+		return 1, nil
 	}
 	st.n++
-	return nil
+	return 0, nil
 }
 
 func (st *countState) merge(other aggState) error {
@@ -229,6 +260,30 @@ func (st *countState) final() (types.Value, error) {
 		return types.NewInt(int64(len(st.seen))), nil
 	}
 	return types.NewInt(st.n), nil
+}
+
+func (st *countState) retained() int { return len(st.seen) }
+
+// spillRow: [n, distinct keys...].
+func (st *countState) spillRow() (types.Row, error) {
+	row := types.Row{types.NewInt(st.n)}
+	for _, k := range sortedKeys(st.seen) {
+		row = append(row, types.NewString(k))
+	}
+	return row, nil
+}
+
+func (st *countState) loadSpillRow(row types.Row) error {
+	if len(row) < 1 {
+		return fmt.Errorf("engine: malformed COUNT spill state")
+	}
+	st.n = row[0].I
+	if st.distinct {
+		for _, v := range row[1:] {
+			st.seen[v.S] = true
+		}
+	}
+	return nil
 }
 
 // ---- SUM ------------------------------------------------------------------
@@ -305,19 +360,21 @@ func newSumState(distinct bool, n *big.Int) *sumState {
 	return st
 }
 
-func (st *sumState) add(vals []types.Value) error {
+func (st *sumState) add(vals []types.Value) (int, error) {
 	v := vals[0]
 	if v.IsNull() {
-		return nil
+		return 0, nil
 	}
+	grew := 0
 	if st.distinct {
 		k := v.GroupKey()
 		if _, ok := st.seen[k]; ok {
-			return nil
+			return 0, nil
 		}
 		st.seen[k] = v
+		grew = 1
 	}
-	return st.part.addValue(v, st.n)
+	return grew, st.part.addValue(v, st.n)
 }
 
 func (st *sumState) merge(other aggState) error {
@@ -351,6 +408,38 @@ func (st *sumState) final() (types.Value, error) {
 	}
 }
 
+func (st *sumState) retained() int { return len(st.seen) }
+
+// spillRow: [kind, intSum, shareSum|NULL, (distinct key, value)...].
+func (st *sumState) spillRow() (types.Row, error) {
+	share := types.Null
+	if st.part.shareSum != nil {
+		share = types.NewShare(st.part.shareSum)
+	}
+	row := types.Row{types.NewInt(int64(st.part.kind)), types.NewInt(st.part.intSum), share}
+	for _, k := range sortedKeys(st.seen) {
+		row = append(row, types.NewString(k), st.seen[k])
+	}
+	return row, nil
+}
+
+func (st *sumState) loadSpillRow(row types.Row) error {
+	if len(row) < 3 || (len(row)-3)%2 != 0 {
+		return fmt.Errorf("engine: malformed SUM spill state")
+	}
+	st.part.kind = types.Kind(row[0].I)
+	st.part.intSum = row[1].I
+	if row[2].K == types.KindShare {
+		st.part.shareSum = row[2].B
+	}
+	if st.distinct {
+		for i := 3; i < len(row); i += 2 {
+			st.seen[row[i].S] = row[i+1]
+		}
+	}
+	return nil
+}
+
 // ---- AVG ------------------------------------------------------------------
 
 type avgState struct {
@@ -358,9 +447,9 @@ type avgState struct {
 	count int64 // non-null argument rows
 }
 
-func (st *avgState) add(vals []types.Value) error {
+func (st *avgState) add(vals []types.Value) (int, error) {
 	if vals[0].IsNull() {
-		return nil
+		return 0, nil
 	}
 	st.count++
 	return st.sum.add(vals)
@@ -394,6 +483,25 @@ func (st *avgState) final() (types.Value, error) {
 	return types.Value{K: types.KindDecimal, I: sum.I * 100 / count}, nil
 }
 
+func (st *avgState) retained() int { return st.sum.retained() }
+
+// spillRow: [count] followed by the embedded sum state's row.
+func (st *avgState) spillRow() (types.Row, error) {
+	sumRow, err := st.sum.spillRow()
+	if err != nil {
+		return nil, err
+	}
+	return append(types.Row{types.NewInt(st.count)}, sumRow...), nil
+}
+
+func (st *avgState) loadSpillRow(row types.Row) error {
+	if len(row) < 1 {
+		return fmt.Errorf("engine: malformed AVG spill state")
+	}
+	st.count = row[0].I
+	return st.sum.loadSpillRow(row[1:])
+}
+
 // ---- MIN / MAX ------------------------------------------------------------
 
 type minMaxState struct {
@@ -407,18 +515,18 @@ func (st *minMaxState) better(v types.Value) bool {
 		(!st.min && v.Compare(st.best) > 0)
 }
 
-func (st *minMaxState) add(vals []types.Value) error {
+func (st *minMaxState) add(vals []types.Value) (int, error) {
 	v := vals[0]
 	if v.IsNull() {
-		return nil
+		return 0, nil
 	}
 	if v.K == types.KindShare {
-		return fmt.Errorf("engine: MIN/MAX over shares requires sdb_min/sdb_max with an order token")
+		return 0, fmt.Errorf("engine: MIN/MAX over shares requires sdb_min/sdb_max with an order token")
 	}
 	if st.better(v) {
 		st.best = v
 	}
-	return nil
+	return 0, nil
 }
 
 func (st *minMaxState) merge(other aggState) error {
@@ -430,6 +538,21 @@ func (st *minMaxState) merge(other aggState) error {
 }
 
 func (st *minMaxState) final() (types.Value, error) { return st.best, nil }
+
+func (st *minMaxState) retained() int { return 0 }
+
+// spillRow: [best] (NULL when no value was seen).
+func (st *minMaxState) spillRow() (types.Row, error) {
+	return types.Row{st.best}, nil
+}
+
+func (st *minMaxState) loadSpillRow(row types.Row) error {
+	if len(row) != 1 {
+		return fmt.Errorf("engine: malformed MIN/MAX spill state")
+	}
+	st.best = row[0]
+	return nil
+}
 
 // ---- sdb_min / sdb_max ----------------------------------------------------
 
@@ -458,18 +581,18 @@ func (st *secExtremeState) beats(tag, mtag, best *big.Int) bool {
 	return (st.min && sign < 0) || (!st.min && sign > 0)
 }
 
-func (st *secExtremeState) add(vals []types.Value) error {
+func (st *secExtremeState) add(vals []types.Value) (int, error) {
 	tag, mtag := vals[0], vals[1]
 	if tag.IsNull() {
-		return nil
+		return 0, nil
 	}
 	if tag.K != types.KindShare || mtag.K != types.KindShare {
-		return fmt.Errorf("engine: sdb_min/sdb_max args must be shares")
+		return 0, fmt.Errorf("engine: sdb_min/sdb_max args must be shares")
 	}
 	if st.tag == nil || st.beats(tag.B, mtag.B, st.tag) {
 		st.tag, st.mtag = tag.B, mtag.B
 	}
-	return nil
+	return 0, nil
 }
 
 func (st *secExtremeState) merge(other aggState) error {
@@ -483,11 +606,36 @@ func (st *secExtremeState) merge(other aggState) error {
 	return nil
 }
 
+func (st *secExtremeState) retained() int { return 0 }
+
 func (st *secExtremeState) final() (types.Value, error) {
 	if st.tag == nil {
 		return types.Null, nil
 	}
 	return types.NewShare(st.tag), nil
+}
+
+// spillRow: the winner serialized via secure.TournamentState — the
+// protocol-level representation of a partial tournament, so spilled state
+// is exactly "a partition winner" and merging replays the tournament.
+func (st *secExtremeState) spillRow() (types.Row, error) {
+	raw, err := secure.TournamentState{Tag: st.tag, Mask: st.mtag}.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return types.Row{types.NewString(string(raw))}, nil
+}
+
+func (st *secExtremeState) loadSpillRow(row types.Row) error {
+	if len(row) != 1 || row[0].K != types.KindString {
+		return fmt.Errorf("engine: malformed sdb_min/sdb_max spill state")
+	}
+	var ts secure.TournamentState
+	if err := ts.UnmarshalBinary([]byte(row[0].S)); err != nil {
+		return err
+	}
+	st.tag, st.mtag = ts.Tag, ts.Mask
+	return nil
 }
 
 // secureCompare orders two rows by their flat-key tags using per-pair mask

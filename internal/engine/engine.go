@@ -13,6 +13,8 @@ package engine
 import (
 	"fmt"
 	"math/big"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +33,19 @@ const (
 	HelperColumn = "sdb_w"
 )
 
+// Environment variables supplying deployment-wide execution defaults.
+// Explicit Options fields always win; the variables exist so a whole test
+// suite or container can be flipped into (say) forced-spill mode without
+// touching call sites.
+const (
+	// MemBudgetEnv is the default per-query resident-row budget applied
+	// when Options.MemBudgetRows is zero.
+	MemBudgetEnv = "SDB_MEM_BUDGET_ROWS"
+	// SpillDirEnv is the default spill directory applied when
+	// Options.SpillDir is empty.
+	SpillDirEnv = "SDB_SPILL_DIR"
+)
+
 // Engine executes statements against a catalog.
 type Engine struct {
 	catalog *storage.Catalog
@@ -40,6 +55,10 @@ type Engine struct {
 	// pool dispatches chunked row evaluation (filters, projections, UDF
 	// columns, secure aggregates) to bounded workers.
 	pool *parallel.Pool
+	// budgetRows caps each query's resident rows (0 = unlimited); when a
+	// blocking operator would cross it, the operator spills to spillDir.
+	budgetRows int
+	spillDir   string
 	// execMu serializes writers (CREATE/INSERT/UPDATE) against readers.
 	// SELECTs share the read lock and hold it only while planning: every
 	// scanOp snapshots its table's column-slice headers under the lock,
@@ -54,7 +73,8 @@ type Engine struct {
 	execMu sync.RWMutex
 }
 
-// Options tune the engine's chunked parallel execution.
+// Options tune the engine's chunked parallel execution and its per-query
+// memory budget.
 type Options struct {
 	// Parallelism bounds the worker goroutines for row-chunk evaluation.
 	// <= 0 means runtime.GOMAXPROCS(0); 1 forces serial execution.
@@ -62,6 +82,16 @@ type Options struct {
 	// ChunkSize is the number of rows per dispatched chunk. <= 0 means
 	// parallel.DefaultChunkSize (1024).
 	ChunkSize int
+	// MemBudgetRows caps the resident rows of one query: blocking
+	// operators (hash-join build sides, aggregation state tables, sort
+	// sinks) spill to disk instead of crossing it. 0 means the
+	// SDB_MEM_BUDGET_ROWS environment default, or unlimited when that is
+	// unset; a negative value forces unlimited regardless of environment.
+	MemBudgetRows int
+	// SpillDir is the directory spill files are created under (one
+	// ephemeral subdirectory per query, removed when the query ends). ""
+	// means the SDB_SPILL_DIR environment default, else os.TempDir().
+	SpillDir string
 }
 
 // New builds an engine over the catalog with default (GOMAXPROCS-wide)
@@ -73,7 +103,8 @@ func New(catalog *storage.Catalog, n *big.Int) *Engine {
 
 // NewWithOptions is New with explicit execution options.
 func NewWithOptions(catalog *storage.Catalog, n *big.Int, opts Options) *Engine {
-	e := &Engine{catalog: catalog, n: n, pool: parallel.New(opts.Parallelism, opts.ChunkSize)}
+	e := &Engine{catalog: catalog, n: n}
+	e.applyOptions(opts)
 	if n != nil {
 		e.half = new(big.Int).Rsh(n, 1)
 	}
@@ -84,7 +115,26 @@ func NewWithOptions(catalog *storage.Catalog, n *big.Int, opts Options) *Engine 
 // concurrently with running statements (benchmarks flip a deployment
 // between serial and parallel with it).
 func (e *Engine) SetOptions(opts Options) {
+	e.applyOptions(opts)
+}
+
+func (e *Engine) applyOptions(opts Options) {
 	e.pool = parallel.New(opts.Parallelism, opts.ChunkSize)
+	e.budgetRows = opts.MemBudgetRows
+	if e.budgetRows == 0 {
+		if s := os.Getenv(MemBudgetEnv); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				e.budgetRows = n
+			}
+		}
+	}
+	if e.budgetRows < 0 {
+		e.budgetRows = 0
+	}
+	e.spillDir = opts.SpillDir
+	if e.spillDir == "" {
+		e.spillDir = os.Getenv(SpillDirEnv)
+	}
 }
 
 // Catalog exposes the underlying catalog (used by upload paths and tests).

@@ -13,7 +13,9 @@ import (
 // infer output kinds over the full result. Streaming execution
 // (Stmt.Query) plans the identical tree and serves it batch by batch.
 func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
-	pl, err := e.planSelect(s)
+	qs := e.newQuerySpill()
+	defer qs.close()
+	pl, err := e.planSelect(s, qs)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,15 @@ func concatRows(a, b types.Row) types.Row {
 // shared-map locking), and each probe batch is looked up in parallel
 // chunks. Output order is probe order × build insertion order, matching the
 // serial nested loop on the same inputs.
+//
+// When the build side would cross the query's memory budget the join goes
+// Grace: both inputs are hash-partitioned to spill files, partition pairs
+// are joined one at a time (re-partitioning recursively when a build
+// partition alone exceeds the budget, chunking it when re-hashing cannot
+// split further), and every leaf emits a run of output rows tagged with
+// (probe index, build index). Merging the runs by those tags restores the
+// exact in-memory output order, so spilled and resident execution are
+// indistinguishable to callers — the differential suites assert it.
 type hashJoinOp struct {
 	e           *Engine
 	left, right operator
@@ -54,12 +63,20 @@ type hashJoinOp struct {
 	rightKeys   []compiledExpr
 	residual    compiledExpr // non-equi ON conjuncts over the joined row; may be nil
 	batch       int
+	qs          *querySpill
 
 	ctx       context.Context
 	parts     []map[string][]types.Row
 	buildRows int
 	out       joinOutput
-	peak      residentPeak
+
+	// Grace spill state (nil/zero while the build side fits in budget).
+	spilling   bool
+	reserved   int        // build rows currently reserved against the budget
+	buildFiles []*runFile // per hash partition; tag a = build row index
+	probeFiles []*runFile // per hash partition; tag a = probe row index
+	merge      *mergeIter // restored-order output of the leaf joins
+	leafRows   int        // rows resident in the active leaf build table
 }
 
 func (op *hashJoinOp) columns() []relCol { return op.schema }
@@ -76,18 +93,23 @@ func (op *hashJoinOp) open(ctx context.Context) error {
 	return op.build()
 }
 
-// build drains the right child and constructs the partitioned hash index.
+// keyedRow is a computed join key: the composite key string plus a hash
+// partition (-1 marks a NULL key component, which never matches).
+type keyedRow struct {
+	key  string
+	part int
+}
+
+// build drains the right child and constructs the partitioned hash index,
+// switching to Grace partition files when the budget refuses the rows.
 func (op *hashJoinOp) build() error {
 	nparts := op.e.pool.Workers()
 	if nparts < 1 {
 		nparts = 1
 	}
-	type keyedRow struct {
-		key  string
-		part int // -1 marks a NULL key component (never matches)
-	}
 	var rows []types.Row
 	var keys []keyedRow
+	bseq := 0
 	for {
 		if err := op.ctx.Err(); err != nil {
 			return err
@@ -109,11 +131,38 @@ func (op *hashJoinOp) build() error {
 		if err != nil {
 			return err
 		}
+		if op.spilling {
+			for i, k := range ks {
+				if k.part < 0 {
+					continue // NULL join key: never matches
+				}
+				if err := op.writeBuildRow(k.key, int64(bseq+i), batch[i]); err != nil {
+					return err
+				}
+			}
+			bseq += len(batch)
+			continue
+		}
 		rows = append(rows, batch...)
 		keys = append(keys, ks...)
-		op.peak.latch(len(rows) + op.right.resident())
+		bseq += len(batch)
+		if op.qs.budget.TryReserve(len(batch)) {
+			op.reserved += len(batch)
+		} else {
+			if err := op.beginBuildSpill(rows, keys); err != nil {
+				return err
+			}
+			rows, keys = nil, nil
+		}
+		op.qs.peak.latch(len(rows) + op.right.resident())
 	}
 	op.right.close()
+	if op.spilling {
+		for _, rf := range op.buildFiles {
+			op.buildRows += rf.count()
+		}
+		return nil
+	}
 
 	// Partitioned-parallel index build: worker p owns partition p and picks
 	// the build rows whose precomputed hash lands in it, so no two workers
@@ -148,6 +197,9 @@ func (op *hashJoinOp) next() ([]types.Row, error) {
 		// probe scan (and its per-row key UDF evaluation) entirely.
 		return nil, io.EOF
 	}
+	if op.spilling {
+		return op.nextSpilled()
+	}
 	for op.out.pending() == 0 {
 		if err := op.ctx.Err(); err != nil {
 			return nil, err
@@ -159,7 +211,6 @@ func (op *hashJoinOp) next() ([]types.Row, error) {
 		if err := op.probe(batch); err != nil {
 			return nil, err
 		}
-		op.peak.latch(op.buildRows + op.out.pending() + op.left.resident())
 	}
 	return op.out.serve(), nil
 }
@@ -207,15 +258,386 @@ func (op *hashJoinOp) probe(batch []types.Row) error {
 }
 
 func (op *hashJoinOp) close() error {
-	op.resident() // latch the final state before releasing it
 	op.parts, op.buildRows = nil, 0
 	op.out = joinOutput{}
+	op.qs.budget.Release(op.reserved)
+	op.reserved = 0
+	closeRunFiles(op.buildFiles)
+	closeRunFiles(op.probeFiles)
+	op.buildFiles, op.probeFiles = nil, nil
+	op.merge.close()
+	op.merge = nil
 	op.left.close()
 	return op.right.close()
 }
 
 func (op *hashJoinOp) resident() int {
-	return op.peak.latch(op.buildRows + op.out.pending() + op.left.resident() + op.right.resident())
+	n := op.buildRows
+	if op.spilling {
+		// The build side lives on disk; resident state is the active leaf
+		// table plus the merge look-ahead.
+		n = op.leafRows + op.merge.resident()
+	}
+	return n + op.out.pending() + op.left.resident() + op.right.resident()
+}
+
+// ---- Grace spill path ------------------------------------------------------
+
+// beginBuildSpill flips the join into Grace mode: partition files are
+// created, every buffered build row is flushed to its key-hash partition,
+// and the buffered rows' budget reservation is returned.
+func (op *hashJoinOp) beginBuildSpill(rows []types.Row, keys []keyedRow) error {
+	op.spilling = true
+	op.qs.sess.AddSpill()
+	op.buildFiles = make([]*runFile, spillPartitions)
+	op.probeFiles = make([]*runFile, spillPartitions)
+	for p := range op.buildFiles {
+		bf, err := newRunFile(op.qs)
+		if err != nil {
+			return err
+		}
+		op.buildFiles[p] = bf
+		pf, err := newRunFile(op.qs)
+		if err != nil {
+			return err
+		}
+		op.probeFiles[p] = pf
+	}
+	for i, k := range keys {
+		if k.part < 0 {
+			continue
+		}
+		if err := op.writeBuildRow(k.key, int64(i), rows[i]); err != nil {
+			return err
+		}
+	}
+	op.qs.budget.Release(op.reserved)
+	op.reserved = 0
+	return nil
+}
+
+func (op *hashJoinOp) writeBuildRow(key string, bseq int64, row types.Row) error {
+	op.qs.sess.AddSpilledRows(1)
+	return op.buildFiles[hashKey(key)%spillPartitions].write(taggedRow{a: bseq, row: row})
+}
+
+// nextSpilled serves the Grace join: the first pull runs the partition
+// joins, later pulls stream the order-restoring merge.
+func (op *hashJoinOp) nextSpilled() ([]types.Row, error) {
+	if op.merge == nil {
+		if err := op.graceJoin(); err != nil {
+			return nil, err
+		}
+	}
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return op.merge.next()
+}
+
+// graceJoin drains the probe side into partition files, joins each
+// partition pair into output runs sorted by (probe, build) index, and
+// opens the merge that restores global output order.
+func (op *hashJoinOp) graceJoin() error {
+	pseq := 0
+	for {
+		if err := op.ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := op.left.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ks, err := parallel.Map(op.e.pool, len(batch), func(i int) (keyedRow, error) {
+			key, hasNull, err := joinKeyOf(op.leftKeys, batch[i])
+			if err != nil || hasNull {
+				return keyedRow{part: -1}, err
+			}
+			return keyedRow{key: key}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, k := range ks {
+			if k.part < 0 {
+				continue
+			}
+			op.qs.sess.AddSpilledRows(1)
+			rf := op.probeFiles[hashKey(k.key)%spillPartitions]
+			if err := rf.write(taggedRow{a: int64(pseq + i), row: batch[i]}); err != nil {
+				return err
+			}
+		}
+		pseq += len(batch)
+		op.qs.peak.latch(len(batch) + op.left.resident())
+	}
+	op.left.close()
+
+	var runs []*runFile
+	for p := range op.buildFiles {
+		if op.buildFiles[p].count() == 0 || op.probeFiles[p].count() == 0 {
+			continue
+		}
+		rs, err := op.joinPartition(op.buildFiles[p], op.probeFiles[p], 0)
+		if err != nil {
+			closeRunFiles(runs)
+			return err
+		}
+		runs = append(runs, rs...)
+	}
+	closeRunFiles(op.buildFiles)
+	closeRunFiles(op.probeFiles)
+	op.buildFiles, op.probeFiles = nil, nil
+	m, err := boundedMerge(op.qs, runs, tagCompare, op.batch)
+	if err != nil {
+		return err
+	}
+	op.merge = m
+	return nil
+}
+
+// joinPartition joins one build/probe partition pair: resident when the
+// build rows fit the budget, recursively re-partitioned when re-hashing
+// can still split them, chunked otherwise.
+func (op *hashJoinOp) joinPartition(build, probe *runFile, depth int) ([]*runFile, error) {
+	n := build.count()
+	if op.qs.budget.TryReserve(n) {
+		run, err := op.joinResident(build, probe, n)
+		if err != nil {
+			return nil, err
+		}
+		return []*runFile{run}, nil
+	}
+	if depth < maxSpillDepth && n > minSpillChunkRows {
+		return op.repartition(build, probe, depth)
+	}
+	return op.joinChunked(build, probe)
+}
+
+// joinResident loads one build partition into a key-indexed table (rows
+// keep build order) and streams the probe partition through it.
+func (op *hashJoinOp) joinResident(build, probe *runFile, reserved int) (*runFile, error) {
+	defer func() {
+		op.qs.budget.Release(reserved)
+		op.leafRows = 0
+	}()
+	table := make(map[string][]taggedRow)
+	br, err := build.openReader()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; ; i++ {
+		if i%1024 == 0 {
+			if err := op.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		tr, err := br.read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		key, _, err := joinKeyOf(op.rightKeys, tr.row)
+		if err != nil {
+			return nil, err
+		}
+		table[key] = append(table[key], tr)
+		op.leafRows++
+	}
+	op.qs.peak.latch(op.leafRows)
+	return op.probeTable(table, probe)
+}
+
+// probeTable streams a probe partition through a resident build table,
+// emitting matches as an output run sorted by (probe, build) index.
+func (op *hashJoinOp) probeTable(table map[string][]taggedRow, probe *runFile) (*runFile, error) {
+	out, err := newRunFile(op.qs)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*runFile, error) {
+		out.close()
+		return nil, err
+	}
+	pr, err := probe.openReader()
+	if err != nil {
+		return fail(err)
+	}
+	for i := 0; ; i++ {
+		if i%1024 == 0 {
+			if err := op.ctx.Err(); err != nil {
+				return fail(err)
+			}
+		}
+		tr, err := pr.read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		key, _, err := joinKeyOf(op.leftKeys, tr.row)
+		if err != nil {
+			return fail(err)
+		}
+		for _, bt := range table[key] {
+			row := concatRows(tr.row, bt.row)
+			if op.residual != nil {
+				ok, err := op.residual(row)
+				if err != nil {
+					return fail(err)
+				}
+				if !ok.Bool() {
+					continue
+				}
+			}
+			op.qs.sess.AddSpilledRows(1)
+			if err := out.write(taggedRow{a: tr.a, b: bt.a, row: row}); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// repartition re-salts the hash and splits an oversized partition pair
+// into sub-partitions, recursing into each pair.
+func (op *hashJoinOp) repartition(build, probe *runFile, depth int) ([]*runFile, error) {
+	seed := uint32(depth + 1)
+	split := func(src *runFile, keys []compiledExpr) ([]*runFile, error) {
+		subs := make([]*runFile, spillPartitions)
+		for i := range subs {
+			rf, err := newRunFile(op.qs)
+			if err != nil {
+				closeRunFiles(subs)
+				return nil, err
+			}
+			subs[i] = rf
+		}
+		fail := func(err error) ([]*runFile, error) {
+			closeRunFiles(subs)
+			return nil, err
+		}
+		r, err := src.openReader()
+		if err != nil {
+			return fail(err)
+		}
+		for i := 0; ; i++ {
+			if i%1024 == 0 {
+				if err := op.ctx.Err(); err != nil {
+					return fail(err)
+				}
+			}
+			tr, err := r.read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fail(err)
+			}
+			key, _, err := joinKeyOf(keys, tr.row)
+			if err != nil {
+				return fail(err)
+			}
+			op.qs.sess.AddSpilledRows(1)
+			if err := subs[hashKeySeed(key, seed)%spillPartitions].write(tr); err != nil {
+				return fail(err)
+			}
+		}
+		return subs, nil
+	}
+	bsubs, err := split(build, op.rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	psubs, err := split(probe, op.leftKeys)
+	if err != nil {
+		closeRunFiles(bsubs)
+		return nil, err
+	}
+	var runs []*runFile
+	for i := range bsubs {
+		if bsubs[i].count() == 0 || psubs[i].count() == 0 {
+			continue
+		}
+		rs, err := op.joinPartition(bsubs[i], psubs[i], depth+1)
+		if err != nil {
+			closeRunFiles(runs)
+			closeRunFiles(bsubs)
+			closeRunFiles(psubs)
+			return nil, err
+		}
+		runs = append(runs, rs...)
+	}
+	closeRunFiles(bsubs)
+	closeRunFiles(psubs)
+	return runs, nil
+}
+
+// joinChunked handles a build partition hashing could not split (few
+// distinct, duplicate-heavy keys): the build file is processed in
+// budget-sized chunks and the probe file re-streams once per chunk. Every
+// chunk's run stays sorted by (probe, build) index, so the global merge
+// still restores exact order.
+func (op *hashJoinOp) joinChunked(build, probe *runFile) ([]*runFile, error) {
+	br, err := build.openReader()
+	if err != nil {
+		return nil, err
+	}
+	var runs []*runFile
+	fail := func(err error) ([]*runFile, error) {
+		closeRunFiles(runs)
+		return nil, err
+	}
+	for {
+		if err := op.ctx.Err(); err != nil {
+			return fail(err)
+		}
+		// Size the chunk up front: the guaranteed minimum working set plus
+		// whatever the budget will grant, capped at the partition itself.
+		reserved := minSpillChunkRows
+		op.qs.budget.ForceReserve(minSpillChunkRows)
+		for reserved < build.count() && op.qs.budget.TryReserve(minSpillChunkRows) {
+			reserved += minSpillChunkRows
+		}
+		table := make(map[string][]taggedRow)
+		got := 0
+		for got < reserved {
+			tr, err := br.read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				op.qs.budget.Release(reserved)
+				return fail(err)
+			}
+			key, _, err := joinKeyOf(op.rightKeys, tr.row)
+			if err != nil {
+				op.qs.budget.Release(reserved)
+				return fail(err)
+			}
+			table[key] = append(table[key], tr)
+			got++
+		}
+		if got == 0 {
+			op.qs.budget.Release(reserved)
+			return runs, nil
+		}
+		op.leafRows = got
+		op.qs.peak.latch(got)
+		run, err := op.probeTable(table, probe)
+		op.qs.budget.Release(reserved)
+		op.leafRows = 0
+		if err != nil {
+			return fail(err)
+		}
+		runs = append(runs, run)
+	}
 }
 
 // nestedLoopJoinOp handles non-equi ON conditions and cross joins: the
@@ -228,11 +650,11 @@ type nestedLoopJoinOp struct {
 	schema      []relCol
 	cond        compiledExpr
 	batch       int
+	qs          *querySpill
 
 	ctx   context.Context
 	build []types.Row
 	out   joinOutput
-	peak  residentPeak
 }
 
 func (op *nestedLoopJoinOp) columns() []relCol { return op.schema }
@@ -258,7 +680,7 @@ func (op *nestedLoopJoinOp) open(ctx context.Context) error {
 			return err
 		}
 		op.build = append(op.build, batch...)
-		op.peak.latch(len(op.build) + op.right.resident())
+		op.qs.peak.latch(len(op.build) + op.right.resident())
 	}
 	return op.right.close()
 }
@@ -299,13 +721,11 @@ func (op *nestedLoopJoinOp) next() ([]types.Row, error) {
 		for _, buf := range chunks {
 			op.out.out = append(op.out.out, buf...)
 		}
-		op.peak.latch(len(op.build) + op.out.pending() + op.left.resident())
 	}
 	return op.out.serve(), nil
 }
 
 func (op *nestedLoopJoinOp) close() error {
-	op.resident() // latch the final state before releasing it
 	op.build = nil
 	op.out = joinOutput{}
 	op.left.close()
@@ -313,7 +733,7 @@ func (op *nestedLoopJoinOp) close() error {
 }
 
 func (op *nestedLoopJoinOp) resident() int {
-	return op.peak.latch(len(op.build) + op.out.pending() + op.left.resident() + op.right.resident())
+	return len(op.build) + op.out.pending() + op.left.resident() + op.right.resident()
 }
 
 // planJoin builds the join operator for left JOIN right ON on. Equality
@@ -321,7 +741,7 @@ func (op *nestedLoopJoinOp) resident() int {
 // the right, probe on the left); remaining conjuncts become a residual
 // predicate over the joined row. Without any usable equality the join falls
 // back to a nested loop over the full condition.
-func (e *Engine) planJoin(left, right operator, on sqlparser.Expr) (operator, error) {
+func (e *Engine) planJoin(left, right operator, on sqlparser.Expr, qs *querySpill) (operator, error) {
 	schema := append(append([]relCol{}, left.columns()...), right.columns()...)
 	joined := &relation{cols: schema}
 	ctx := e.evalCtx()
@@ -366,7 +786,7 @@ func (e *Engine) planJoin(left, right operator, on sqlparser.Expr) (operator, er
 		return &hashJoinOp{
 			e: e, left: left, right: right, schema: schema,
 			leftKeys: leftKeys, rightKeys: rightKeys, residual: resid,
-			batch: e.batchRows(),
+			batch: e.batchRows(), qs: qs,
 		}, nil
 	}
 
@@ -376,6 +796,6 @@ func (e *Engine) planJoin(left, right operator, on sqlparser.Expr) (operator, er
 	}
 	return &nestedLoopJoinOp{
 		e: e, left: left, right: right, schema: schema, cond: cond,
-		batch: e.batchRows(),
+		batch: e.batchRows(), qs: qs,
 	}, nil
 }

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain pins the spill hygiene contract for the whole package: every
+// engine an engine test builds inherits one guarded spill directory (via
+// SDB_SPILL_DIR), and that directory must be empty when the tests finish
+// — a leaked per-query spill dir is a failure even if every functional
+// assertion passed. Tests that pass an explicit Options.SpillDir use
+// t.TempDir(), whose cleanup enforces the same thing per test.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "engine-spill-guard-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spill guard: %v\n", err)
+		os.Exit(1)
+	}
+	os.Setenv(SpillDirEnv, dir)
+	code := m.Run()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spill guard: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if len(entries) > 0 {
+		fmt.Fprintf(os.Stderr, "spill guard: %d entries leaked in %s:\n", len(entries), dir)
+		for _, e := range entries {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.Name())
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.RemoveAll(dir)
+	os.Exit(code)
+}

@@ -30,12 +30,13 @@ type operator interface {
 	open(ctx context.Context) error
 	next() ([]types.Row, error)
 	close() error
-	// resident reports the rows retained by this subtree — build tables,
-	// aggregation state, sort buffers and pending output — as the maximum
-	// of the current count and a latched high-water mark. Blocking
-	// operators latch the mark while draining their input (and keep it
-	// across close), so peaks inside a drain stay visible to the
-	// iterator's batch-boundary sampling even after the child is released.
+	// resident reports the rows this subtree currently retains — build
+	// tables, aggregation state, sort buffers, merge look-ahead and
+	// pending output. It is a point-in-time count: blocking operators
+	// additionally latch their drain-time peaks into the query-wide
+	// high-water mark (querySpill.peak), so peaks between the iterator's
+	// batch-boundary samples are never lost, and sequential blocking
+	// phases are not double-counted against each other.
 	resident() int
 }
 
@@ -86,8 +87,22 @@ type ExecStats struct {
 	// rows retained across the operator tree plus the in-flight batch. For
 	// a pipelined plan it is bounded by blocking-state sizes (hash-join
 	// build side, aggregation groups, top-K heap) plus O(batch) per stage,
-	// independent of intermediate result cardinality.
+	// independent of intermediate result cardinality. Under a memory
+	// budget it is additionally bounded by BudgetRows: blocking operators
+	// spill instead of crossing it.
 	PeakResidentRows int
+	// BudgetRows is the query's resident-row budget (0 = unlimited).
+	BudgetRows int
+	// Spills counts budget-overflow events — a blocking operator moving
+	// its state to disk. 0 means the query ran fully in memory.
+	Spills int
+	// SpilledRows counts rows written to spill files (partitioning,
+	// re-partitioning and run generation all count; a row can be written
+	// more than once).
+	SpilledRows int
+	// SpillFiles counts the temp files the query created; all of them are
+	// removed by the time the iterator closes.
+	SpillFiles int
 }
 
 // ---- scan ----------------------------------------------------------------

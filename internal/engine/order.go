@@ -116,16 +116,25 @@ func (sp *orderSpec) compare(a, b types.Row) (int, error) {
 // sortOp is the blocking ORDER BY sink: it materializes its input at open,
 // stable-sorts it and serves batches with the hidden key columns stripped.
 // The planner prefers topKOp when a LIMIT bounds the resident set.
+//
+// Past the query's memory budget it degrades to an external merge sort:
+// each budget-sized buffer stable-sorts into a run file whose rows carry
+// their global arrival index, and the k-way merge breaks comparator ties
+// by that index — reproducing the in-memory stable sort exactly with one
+// look-ahead row per run resident.
 type sortOp struct {
 	e        *Engine
 	child    operator
 	spec     *orderSpec
 	outWidth int
 	batch    int
+	qs       *querySpill
 
-	ctx  context.Context
-	win  rowWindow
-	peak residentPeak
+	ctx      context.Context
+	win      rowWindow
+	reserved int
+	runs     []*runFile
+	merge    *mergeIter
 }
 
 func (op *sortOp) columns() []relCol { return op.child.columns()[:op.outWidth] }
@@ -135,13 +144,74 @@ func (op *sortOp) open(ctx context.Context) error {
 	if err := op.child.open(ctx); err != nil {
 		return err
 	}
-	rows, err := drainChild(ctx, op.child, &op.peak)
+	var buf []types.Row
+	base := 0 // arrival index of buf[0]
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch, err := op.child.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf = append(buf, batch...)
+		if op.qs.budget.TryReserve(len(batch)) {
+			op.reserved += len(batch)
+		} else {
+			if err := op.flushRun(buf, base); err != nil {
+				return err
+			}
+			base += len(buf)
+			buf = nil
+		}
+		op.qs.peak.latch(len(buf) + op.child.resident())
+	}
+	op.child.close()
+
+	if len(op.runs) == 0 {
+		// Everything fit: plain in-memory stable sort.
+		var sortErr error
+		sort.SliceStable(buf, func(i, j int) bool {
+			c, err := op.spec.compare(buf[i], buf[j])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			return sortErr
+		}
+		op.win = rowWindow{rows: buf, batch: op.batch, width: op.outWidth}
+		return nil
+	}
+	if len(buf) > 0 {
+		if err := op.flushRun(buf, base); err != nil {
+			return err
+		}
+	}
+	m, err := boundedMerge(op.qs, op.runs, op.runCompare, op.batch)
+	op.runs = nil // ownership moved to the merge (intermediate passes included)
 	if err != nil {
 		return err
 	}
+	op.merge = m
+	return nil
+}
+
+// flushRun stable-sorts the buffered rows and writes them as one run;
+// the rows' arrival indices make the later merge a stable sort.
+func (op *sortOp) flushRun(buf []types.Row, base int) error {
+	op.qs.sess.AddSpill()
+	tagged := make([]taggedRow, len(buf))
+	for i, row := range buf {
+		tagged[i] = taggedRow{a: int64(base + i), row: row}
+	}
 	var sortErr error
-	sort.SliceStable(rows, func(i, j int) bool {
-		c, err := op.spec.compare(rows[i], rows[j])
+	sort.SliceStable(tagged, func(i, j int) bool {
+		c, err := op.spec.compare(tagged[i].row, tagged[j].row)
 		if err != nil && sortErr == nil {
 			sortErr = err
 		}
@@ -150,25 +220,70 @@ func (op *sortOp) open(ctx context.Context) error {
 	if sortErr != nil {
 		return sortErr
 	}
-	op.win = rowWindow{rows: rows, batch: op.batch, width: op.outWidth}
+	rf, err := newRunFile(op.qs)
+	if err != nil {
+		return err
+	}
+	for _, tr := range tagged {
+		op.qs.sess.AddSpilledRows(1)
+		if err := rf.write(tr); err != nil {
+			rf.close()
+			return err
+		}
+	}
+	op.runs = append(op.runs, rf)
+	op.qs.budget.Release(op.reserved)
+	op.reserved = 0
 	return nil
+}
+
+// runCompare orders merged rows by the ORDER BY keys, then arrival index
+// (stability tie-break).
+func (op *sortOp) runCompare(x, y *taggedRow) (int, error) {
+	c, err := op.spec.compare(x.row, y.row)
+	if err != nil || c != 0 {
+		return c, err
+	}
+	switch {
+	case x.a < y.a:
+		return -1, nil
+	case x.a > y.a:
+		return 1, nil
+	default:
+		return 0, nil
+	}
 }
 
 func (op *sortOp) next() ([]types.Row, error) {
 	if err := op.ctx.Err(); err != nil {
 		return nil, err
 	}
+	if op.merge != nil {
+		batch, err := op.merge.next()
+		if err != nil {
+			return nil, err
+		}
+		for i := range batch {
+			batch[i] = batch[i][:op.outWidth] // strip hidden sort keys
+		}
+		return batch, nil
+	}
 	return op.win.next()
 }
 
 func (op *sortOp) close() error {
-	op.resident() // latch the final state before releasing it
 	op.win = rowWindow{}
+	op.qs.budget.Release(op.reserved)
+	op.reserved = 0
+	op.merge.close()
+	op.merge = nil
+	closeRunFiles(op.runs)
+	op.runs = nil
 	return op.child.close()
 }
 
 func (op *sortOp) resident() int {
-	return op.peak.latch(op.win.remaining() + op.child.resident())
+	return op.win.remaining() + op.merge.resident() + op.child.resident()
 }
 
 // topKOp is ORDER BY + LIMIT K with a bounded heap: it retains only the K
@@ -182,11 +297,11 @@ type topKOp struct {
 	k        int64
 	outWidth int
 	batch    int
+	qs       *querySpill
 
 	ctx  context.Context
 	heap []heapItem // max-heap: worst retained row at the root
 	win  rowWindow
-	peak residentPeak
 	err  error
 }
 
@@ -234,7 +349,7 @@ func (op *topKOp) open(ctx context.Context) error {
 				return op.err
 			}
 		}
-		op.peak.latch(len(op.heap) + len(batch) + op.child.resident())
+		op.qs.peak.latch(len(op.heap) + len(batch) + op.child.resident())
 	}
 	op.child.close()
 
@@ -309,7 +424,6 @@ func (op *topKOp) next() ([]types.Row, error) {
 }
 
 func (op *topKOp) close() error {
-	op.resident() // latch the final state before releasing it
 	op.heap = nil
 	op.win = rowWindow{}
 	return op.child.close()
@@ -320,25 +434,5 @@ func (op *topKOp) resident() int {
 	if len(op.win.rows) > 0 {
 		n = op.win.remaining()
 	}
-	return op.peak.latch(n + op.child.resident())
-}
-
-// drainChild pulls every batch from an already-open operator, latching the
-// accumulated rows plus the child subtree into peak as it goes.
-func drainChild(ctx context.Context, child operator, peak *residentPeak) ([]types.Row, error) {
-	var rows []types.Row
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		batch, err := child.next()
-		if err == io.EOF {
-			return rows, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, batch...)
-		peak.latch(len(rows) + child.resident())
-	}
+	return n + op.child.resident()
 }

@@ -12,6 +12,11 @@ import (
 type queryPlan struct {
 	root operator
 	cols []ResultColumn
+	// qs is the query's spill context: the shared memory budget and the
+	// temp-file session every blocking operator in the tree spills into.
+	// Subquery subtrees share their parent's; whoever executes the plan
+	// owns closing it.
+	qs *querySpill
 }
 
 // planSelect compiles a SELECT into an operator tree:
@@ -23,8 +28,8 @@ type queryPlan struct {
 // engine's read lock; execution (open/next on the returned tree) is then
 // lock-free over immutable snapshots. The stage order after the projection
 // matches the legacy materialized pipeline (sort, then dedup, then limit).
-func (e *Engine) planSelect(s *sqlparser.Select) (*queryPlan, error) {
-	src, err := e.planFrom(s.From)
+func (e *Engine) planSelect(s *sqlparser.Select, qs *querySpill) (*queryPlan, error) {
+	src, err := e.planFrom(s.From, qs)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +48,7 @@ func (e *Engine) planSelect(s *sqlparser.Select) (*queryPlan, error) {
 	// aggregate output columns (_gN/_aN) instead of aggregate calls.
 	aggs := collectAggregates(s)
 	if len(aggs) > 0 || len(s.GroupBy) > 0 {
-		src, s, err = e.planAggregate(src, s, aggs)
+		src, s, err = e.planAggregate(src, s, aggs, qs)
 		if err != nil {
 			return nil, err
 		}
@@ -86,9 +91,9 @@ func (e *Engine) planSelect(s *sqlparser.Select) (*queryPlan, error) {
 	// DISTINCT does not need the full sorted set first), else a sort sink.
 	if ospec != nil {
 		if s.Limit != nil && !s.Distinct {
-			root = &topKOp{e: e, child: root, spec: ospec, k: *s.Limit, outWidth: len(outCols), batch: e.batchRows()}
+			root = &topKOp{e: e, child: root, spec: ospec, k: *s.Limit, outWidth: len(outCols), batch: e.batchRows(), qs: qs}
 		} else {
-			root = &sortOp{e: e, child: root, spec: ospec, outWidth: len(outCols), batch: e.batchRows()}
+			root = &sortOp{e: e, child: root, spec: ospec, outWidth: len(outCols), batch: e.batchRows(), qs: qs}
 		}
 	}
 
@@ -99,19 +104,19 @@ func (e *Engine) planSelect(s *sqlparser.Select) (*queryPlan, error) {
 	if s.Limit != nil {
 		root = &limitOp{child: root, remaining: *s.Limit}
 	}
-	return &queryPlan{root: root, cols: outCols}, nil
+	return &queryPlan{root: root, cols: outCols, qs: qs}, nil
 }
 
 // planFrom assembles the FROM clause into one operator (comma-separated
 // refs cross-join left-deep; JOIN…ON plans hash or nested-loop joins).
-func (e *Engine) planFrom(refs []sqlparser.TableRef) (operator, error) {
+func (e *Engine) planFrom(refs []sqlparser.TableRef, qs *querySpill) (operator, error) {
 	if len(refs) == 0 {
 		// SELECT without FROM: a single empty row.
 		return &valuesOp{rows: []types.Row{{}}}, nil
 	}
 	var src operator
 	for _, ref := range refs {
-		r, err := e.planRef(ref)
+		r, err := e.planRef(ref, qs)
 		if err != nil {
 			return nil, err
 		}
@@ -120,12 +125,12 @@ func (e *Engine) planFrom(refs []sqlparser.TableRef) (operator, error) {
 			continue
 		}
 		schema := append(append([]relCol{}, src.columns()...), r.columns()...)
-		src = &nestedLoopJoinOp{e: e, left: src, right: r, schema: schema, batch: e.batchRows()}
+		src = &nestedLoopJoinOp{e: e, left: src, right: r, schema: schema, batch: e.batchRows(), qs: qs}
 	}
 	return src, nil
 }
 
-func (e *Engine) planRef(ref sqlparser.TableRef) (operator, error) {
+func (e *Engine) planRef(ref sqlparser.TableRef, qs *querySpill) (operator, error) {
 	switch r := ref.(type) {
 	case sqlparser.TableName:
 		t, err := e.catalog.Get(r.Name)
@@ -139,7 +144,7 @@ func (e *Engine) planRef(ref sqlparser.TableRef) (operator, error) {
 		return newScanOp(t, alias, e.batchRows()), nil
 
 	case *sqlparser.SubqueryRef:
-		sub, err := e.planSelect(r.Sel)
+		sub, err := e.planSelect(r.Sel, qs)
 		if err != nil {
 			return nil, err
 		}
@@ -150,15 +155,15 @@ func (e *Engine) planRef(ref sqlparser.TableRef) (operator, error) {
 		return &renameOp{child: sub.root, schema: schema}, nil
 
 	case *sqlparser.JoinRef:
-		left, err := e.planRef(r.Left)
+		left, err := e.planRef(r.Left, qs)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.planRef(r.Right)
+		right, err := e.planRef(r.Right, qs)
 		if err != nil {
 			return nil, err
 		}
-		return e.planJoin(left, right, r.On)
+		return e.planJoin(left, right, r.On, qs)
 
 	default:
 		return nil, fmt.Errorf("engine: unsupported FROM item %T", ref)

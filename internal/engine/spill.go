@@ -1,0 +1,70 @@
+// Spill-to-disk support for the blocking operators. A query carries one
+// querySpill: the shared resident-row budget every blocking operator
+// reserves from, plus the temp-file session all spill files are created
+// in. Operators never fail on budget exhaustion — a refused reservation
+// is the signal to move state to disk — and the session ties file
+// lifetime to the query: Close (reached from iterator Close, drain
+// completion, error teardown and context cancellation) removes the whole
+// spill directory, so no temp files outlive the query.
+package engine
+
+import "sdb/internal/spill"
+
+// spillPartitions is the Grace fan-out: how many hash partitions a
+// spilling join or aggregation splits its state into. Each partition is
+// expected to be ~1/spillPartitions of the state, and oversized join
+// partitions re-partition recursively with a re-salted hash.
+const spillPartitions = 8
+
+// maxSpillDepth bounds the recursive re-partitioning of join partitions;
+// past it (duplicate-heavy keys defeat hashing) the build partition is
+// processed in budget-sized chunks instead.
+const maxSpillDepth = 2
+
+// minSpillChunkRows is the working set a spilled operator may force-
+// reserve even when the budget is exhausted by its neighbours, so every
+// query makes progress; the budget's headroom absorbs the overshoot.
+const minSpillChunkRows = 16
+
+// querySpill is the per-query execution context shared by every blocking
+// operator in one plan (including FROM-subquery subtrees): the memory
+// budget, the spill-file session, and the query-wide resident-row
+// high-water mark blocking operators latch their drain peaks into.
+type querySpill struct {
+	budget *spill.Budget
+	sess   *spill.Session
+	peak   residentPeak
+}
+
+// newQuerySpill builds the spill context for one query. The budget
+// headroom covers the pipeline state operators hold without reserving:
+// one in-flight batch for a handful of stages plus merge look-ahead.
+func (e *Engine) newQuerySpill() *querySpill {
+	return &querySpill{
+		budget: spill.NewBudget(e.budgetRows, 6*e.batchRows()),
+		sess:   spill.NewSession(e.spillDir),
+	}
+}
+
+// close releases every temp file of the query. Idempotent.
+func (q *querySpill) close() {
+	if q != nil {
+		q.sess.Close()
+	}
+}
+
+// hashKeySeed is hashKey re-salted per recursion depth, so a partition
+// that overflowed under one hash redistributes under the next. FNV's
+// dependence on its initial state is near-linear, so merely re-seeding
+// the basis shifts every bucket by a constant and keys that collided
+// once would collide forever; the murmur-style finalizer avalanches the
+// seeded hash so same-bucket keys genuinely redistribute at each level.
+func hashKeySeed(s string, seed uint32) uint32 {
+	h := hashKey(s) ^ (seed * 0x9e3779b9)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}

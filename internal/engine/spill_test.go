@@ -1,0 +1,470 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"sdb/internal/bigmod"
+	"sdb/internal/storage"
+)
+
+// spillOptions pins the pool geometry every spill test uses (batch = 8
+// rows, small against the budgets) so budgets and peaks are
+// machine-independent and the in-flight-batch slack stays well inside
+// the budget headroom.
+func spillOptions(budget int, dir string) Options {
+	return Options{Parallelism: 2, ChunkSize: 4, MemBudgetRows: budget, SpillDir: dir}
+}
+
+// newSpillEngine builds an engine with the pinned geometry and the given
+// budget (-1 = force unlimited even under a CI budget env).
+func newSpillEngine(t *testing.T, budget int) *Engine {
+	t.Helper()
+	return NewWithOptions(storage.NewCatalog(), nil, spillOptions(budget, t.TempDir()))
+}
+
+// loadRows bulk-inserts n generated rows into table tbl of every engine.
+func loadRows(t *testing.T, engines []*Engine, tbl string, n int, gen func(i int) string) {
+	t.Helper()
+	const chunk = 1000
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", tbl)
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(gen(i))
+		}
+		for _, e := range engines {
+			mustExec(t, e, sb.String())
+		}
+	}
+}
+
+// queryWithStats streams one SELECT to completion and returns rows plus
+// the iterator's execution stats.
+func queryWithStats(t *testing.T, e *Engine, sql string) (*Result, ExecStats) {
+	t.Helper()
+	it, err := e.QuerySQL(context.Background(), sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	res := &Result{Columns: it.Columns()}
+	for {
+		batch, err := it.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		res.Rows = append(res.Rows, batch...)
+	}
+	stats := it.(interface{ Stats() ExecStats }).Stats()
+	it.Close()
+	return res, stats
+}
+
+// requireSameRows compares two results cell by cell, order included.
+func requireSameRows(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for r := range want.Rows {
+		if len(got.Rows[r]) != len(want.Rows[r]) {
+			t.Fatalf("%s: row %d width %d, want %d", label, r, len(got.Rows[r]), len(want.Rows[r]))
+		}
+		for c := range want.Rows[r] {
+			if !got.Rows[r][c].Equal(want.Rows[r][c]) {
+				t.Fatalf("%s: row %d col %d: %v (%s) != %v (%s)",
+					label, r, c, got.Rows[r][c], got.Rows[r][c].K, want.Rows[r][c], want.Rows[r][c].K)
+			}
+		}
+	}
+}
+
+// checkSpilled asserts a query actually exercised the spill path and
+// stayed within its budget.
+func checkSpilled(t *testing.T, label string, st ExecStats, budget int) {
+	t.Helper()
+	if st.BudgetRows != budget {
+		t.Fatalf("%s: BudgetRows = %d, want %d", label, st.BudgetRows, budget)
+	}
+	if st.Spills == 0 || st.SpilledRows == 0 || st.SpillFiles == 0 {
+		t.Fatalf("%s: expected spilling, got stats %+v", label, st)
+	}
+	if st.PeakResidentRows > budget {
+		t.Fatalf("%s: peak resident rows %d exceeds budget %d", label, st.PeakResidentRows, budget)
+	}
+}
+
+// TestSortSpillMatchesInMemory is the acceptance case for the external
+// merge sort: a sort input far beyond the budget completes with
+// PeakResidentRows ≤ budget and rows identical — order, ties and all —
+// to the unlimited in-memory stable sort.
+func TestSortSpillMatchesInMemory(t *testing.T) {
+	const budget = 96
+	mem := newSpillEngine(t, -1)
+	spl := newSpillEngine(t, budget)
+	for _, e := range []*Engine{mem, spl} {
+		mustExec(t, e, `CREATE TABLE s (id INT, grp INT, v INT, name STRING)`)
+	}
+	gen := func(i int) string {
+		if i%13 == 0 {
+			return fmt.Sprintf("(%d, NULL, %d, 'n%d')", i, i%17, i%5)
+		}
+		// grp has heavy duplicates so the stability tie-break matters.
+		return fmt.Sprintf("(%d, %d, %d, 'n%d')", i, i%7, (i*31)%101, i%5)
+	}
+	loadRows(t, []*Engine{mem, spl}, "s", 2500, gen)
+
+	for _, sql := range []string{
+		`SELECT id, grp, v FROM s ORDER BY grp, name`,      // dup keys → ties
+		`SELECT id, name FROM s ORDER BY name DESC, grp`,   // DESC + hidden key
+		`SELECT grp, v FROM s WHERE v > 10 ORDER BY v, id`, // filtered input
+		`SELECT id FROM s ORDER BY grp`,                    // maximal tie runs
+	} {
+		want, wantSt := queryWithStats(t, mem, sql)
+		got, gotSt := queryWithStats(t, spl, sql)
+		if wantSt.Spills != 0 {
+			t.Fatalf("reference engine spilled: %+v", wantSt)
+		}
+		checkSpilled(t, sql, gotSt, budget)
+		requireSameRows(t, sql, got, want)
+	}
+}
+
+// TestJoinSpillMatchesInMemory forces the Grace path: a build side well
+// beyond the budget, duplicate and NULL keys, and a residual predicate.
+// Output must match the in-memory hash join row for row.
+func TestJoinSpillMatchesInMemory(t *testing.T) {
+	const budget = 128
+	mem := newSpillEngine(t, -1)
+	spl := newSpillEngine(t, budget)
+	for _, e := range []*Engine{mem, spl} {
+		mustExec(t, e, `CREATE TABLE fact (k INT, v INT)`)
+		mustExec(t, e, `CREATE TABLE dim (k INT, d INT)`)
+	}
+	loadRows(t, []*Engine{mem, spl}, "fact", 3000, func(i int) string {
+		if i%29 == 0 {
+			return fmt.Sprintf("(NULL, %d)", i)
+		}
+		return fmt.Sprintf("(%d, %d)", i%450, i)
+	})
+	loadRows(t, []*Engine{mem, spl}, "dim", 600, func(i int) string {
+		if i%31 == 0 {
+			return fmt.Sprintf("(NULL, %d)", i)
+		}
+		// Duplicate build keys: two dim rows per k for half the domain.
+		return fmt.Sprintf("(%d, %d)", i%450, i*7)
+	})
+
+	for _, sql := range []string{
+		`SELECT fact.k, v, d FROM fact JOIN dim ON fact.k = dim.k`,
+		`SELECT v, d FROM fact JOIN dim ON fact.k = dim.k AND v + d > 500`,
+	} {
+		want, wantSt := queryWithStats(t, mem, sql)
+		got, gotSt := queryWithStats(t, spl, sql)
+		if wantSt.Spills != 0 {
+			t.Fatalf("reference engine spilled: %+v", wantSt)
+		}
+		checkSpilled(t, sql, gotSt, budget)
+		if len(want.Rows) == 0 {
+			t.Fatalf("%s: empty reference result, test is vacuous", sql)
+		}
+		requireSameRows(t, sql, got, want)
+	}
+}
+
+// TestJoinSpillDuplicateKeySkew drives the chunked-leaf fallback: every
+// build row shares one key, so re-partitioning can never split the
+// partition and the join must process it in budget-sized chunks.
+func TestJoinSpillDuplicateKeySkew(t *testing.T) {
+	const budget = 64
+	mem := newSpillEngine(t, -1)
+	spl := newSpillEngine(t, budget)
+	for _, e := range []*Engine{mem, spl} {
+		mustExec(t, e, `CREATE TABLE probe (k INT, v INT)`)
+		mustExec(t, e, `CREATE TABLE build (k INT, d INT)`)
+	}
+	loadRows(t, []*Engine{mem, spl}, "probe", 40, func(i int) string {
+		return fmt.Sprintf("(1, %d)", i)
+	})
+	loadRows(t, []*Engine{mem, spl}, "build", 500, func(i int) string {
+		return fmt.Sprintf("(1, %d)", i)
+	})
+	sql := `SELECT v, d FROM probe JOIN build ON probe.k = build.k WHERE v < 2`
+	want, _ := queryWithStats(t, mem, sql)
+	got, gotSt := queryWithStats(t, spl, sql)
+	checkSpilled(t, sql, gotSt, budget)
+	if len(want.Rows) != 2*500 {
+		t.Fatalf("expected 1000 joined rows, got %d", len(want.Rows))
+	}
+	requireSameRows(t, sql, got, want)
+}
+
+// TestAggSpillMatchesInMemory forces grouped-state spilling across every
+// aggregate kind (COUNT, COUNT(x), COUNT(DISTINCT), SUM, SUM(DISTINCT),
+// AVG, MIN, MAX) with NULLs in both keys and arguments.
+func TestAggSpillMatchesInMemory(t *testing.T) {
+	const budget = 96
+	mem := newSpillEngine(t, -1)
+	spl := newSpillEngine(t, budget)
+	for _, e := range []*Engine{mem, spl} {
+		mustExec(t, e, `CREATE TABLE ev (grp INT, v INT, s STRING)`)
+	}
+	loadRows(t, []*Engine{mem, spl}, "ev", 4000, func(i int) string {
+		switch i % 19 {
+		case 0:
+			return fmt.Sprintf("(NULL, %d, 's%d')", i%50, i%11)
+		case 1:
+			return fmt.Sprintf("(%d, NULL, 's%d')", i%700, i%11)
+		default:
+			return fmt.Sprintf("(%d, %d, 's%d')", i%700, i%97-40, i%11)
+		}
+	})
+
+	for _, sql := range []string{
+		`SELECT grp, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(s) FROM ev GROUP BY grp`,
+		`SELECT grp, COUNT(DISTINCT s), SUM(DISTINCT v) FROM ev GROUP BY grp`,
+		`SELECT grp, COUNT(*) FROM ev GROUP BY grp HAVING COUNT(*) > 5`,
+		`SELECT grp, SUM(v) FROM ev GROUP BY grp ORDER BY grp DESC`,
+	} {
+		want, wantSt := queryWithStats(t, mem, sql)
+		got, gotSt := queryWithStats(t, spl, sql)
+		if wantSt.Spills != 0 {
+			t.Fatalf("reference engine spilled: %+v", wantSt)
+		}
+		checkSpilled(t, sql, gotSt, budget)
+		if len(want.Rows) < 300 {
+			t.Fatalf("%s: only %d groups, spill not forced", sql, len(want.Rows))
+		}
+		requireSameRows(t, sql, got, want)
+	}
+}
+
+// TestSecureAggSpill pins the serializable tournament states: sdb_min and
+// sdb_max over encrypted shares, grouped so the state tables spill, must
+// select exactly the winners the in-memory tournament selects (the tags
+// are deterministic, so the shares compare bit-identical).
+func TestSecureAggSpill(t *testing.T) {
+	vals := make([]int64, 60)
+	for i := range vals {
+		vals[i] = int64((i*37)%113 - 50)
+	}
+	f := newSecureFixture(t, vals)
+	flat, _ := f.s.FlatKey()
+	mflat, _ := f.s.FlatKey()
+	reveal := hex(bigmod.Mul(flat.M, mflat.M, f.s.N()))
+	tagV := f.flattenSQL("v", f.ck, flat)
+	tagM := f.flattenSQL("m", f.mask, mflat)
+	sql := fmt.Sprintf(
+		`SELECT id %% 7, sdb_min(%s, %s, %s, %s), sdb_max(%s, %s, %s, %s), COUNT(*) FROM enc GROUP BY id %% 7`,
+		tagV, tagM, reveal, hex(f.s.N()),
+		tagV, tagM, reveal, hex(f.s.N()))
+
+	want, wantSt := queryWithStats(t, f.eng, sql)
+	if wantSt.Spills != 0 {
+		t.Fatalf("unbudgeted secure engine spilled: %+v", wantSt)
+	}
+	// Flip the same engine into forced-spill mode: 7 groups > the
+	// reservable half of an 8-row budget.
+	f.eng.SetOptions(spillOptions(8, t.TempDir()))
+	got, gotSt := queryWithStats(t, f.eng, sql)
+	if gotSt.Spills == 0 {
+		t.Fatalf("secure aggregation did not spill: %+v", gotSt)
+	}
+	requireSameRows(t, sql, got, want)
+}
+
+// TestSecureOrderBySpill pins the masked-comparator external sort: ORDER
+// BY sdb_ord over encrypted tags must produce the in-memory order when
+// the sort sink spills (the comparator runs inside run generation and
+// the k-way merge).
+func TestSecureOrderBySpill(t *testing.T) {
+	vals := make([]int64, 40)
+	for i := range vals {
+		vals[i] = int64((i*53)%97 - 48)
+	}
+	f := newSecureFixture(t, vals)
+	flat, _ := f.s.FlatKey()
+	mflat, _ := f.s.FlatKey()
+	p2 := hex(bigmod.Mul(flat.M, bigmod.Mul(mflat.M, mflat.M, f.s.N()), f.s.N()))
+	sql := fmt.Sprintf(`SELECT id FROM enc ORDER BY sdb_ord(%s, %s, %s, %s)`,
+		f.flattenSQL("v", f.ck, flat), f.flattenSQL("m", f.mask, mflat), p2, hex(f.s.N()))
+
+	want, _ := queryWithStats(t, f.eng, sql)
+	f.eng.SetOptions(spillOptions(16, t.TempDir()))
+	got, gotSt := queryWithStats(t, f.eng, sql)
+	if gotSt.Spills == 0 {
+		t.Fatalf("secure ORDER BY did not spill: %+v", gotSt)
+	}
+	requireSameRows(t, sql, got, want)
+}
+
+// TestCloseMidSpillCleansTempFiles closes a cursor between batches of a
+// spilled query and requires the spill directory to be empty immediately
+// (Rows.Close in the driver funnels into exactly this teardown).
+func TestCloseMidSpillCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	e := NewWithOptions(storage.NewCatalog(), nil, spillOptions(64, dir))
+	mustExec(t, e, `CREATE TABLE big (id INT, v INT)`)
+	loadRows(t, []*Engine{e}, "big", 3000, func(i int) string {
+		return fmt.Sprintf("(%d, %d)", i, (i*13)%991)
+	})
+	it, err := e.QuerySQL(context.Background(), `SELECT id, v FROM big ORDER BY v, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	st := it.(interface{ Stats() ExecStats }).Stats()
+	if st.SpillFiles == 0 {
+		t.Fatal("query did not spill; mid-stream cleanup test is vacuous")
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) == 0 {
+		t.Fatal("expected live spill files mid-stream")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("Close left %d spill entries behind", len(entries))
+	}
+}
+
+// TestCancelMidSpillCleansTempFiles cancels the query context mid-stream
+// and never calls Close: the context hook alone must remove every spill
+// file.
+func TestCancelMidSpillCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	e := NewWithOptions(storage.NewCatalog(), nil, spillOptions(64, dir))
+	mustExec(t, e, `CREATE TABLE big (id INT, v INT)`)
+	loadRows(t, []*Engine{e}, "big", 3000, func(i int) string {
+		return fmt.Sprintf("(%d, %d)", i, (i*13)%991)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := e.QuerySQL(ctx, `SELECT id, v FROM big ORDER BY v, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if st := it.(interface{ Stats() ExecStats }).Stats(); st.SpillFiles == 0 {
+		t.Fatal("query did not spill; cancel cleanup test is vacuous")
+	}
+	cancel() // and walk away — no Close
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, _ := os.ReadDir(dir)
+		if len(entries) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("context cancel left %d spill entries behind", len(entries))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := it.NextBatch(); err == nil {
+		t.Fatal("cancelled spilled cursor served another batch")
+	}
+}
+
+// TestCancelDuringSpillingBuild cancels while a blocking operator is
+// still draining (and spilling) its input; the open call must surface
+// the cancellation and the files must disappear without Close.
+func TestCancelDuringSpillingBuild(t *testing.T) {
+	dir := t.TempDir()
+	e := NewWithOptions(storage.NewCatalog(), nil, spillOptions(64, dir))
+	mustExec(t, e, `CREATE TABLE big (id INT, v INT)`)
+	loadRows(t, []*Engine{e}, "big", 5000, func(i int) string {
+		return fmt.Sprintf("(%d, %d)", i, (i*13)%991)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := e.QuerySQL(ctx, `SELECT id, v FROM big ORDER BY v, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // before the first batch: open() dies inside the sort drain
+	if _, err := it.NextBatch(); err == nil {
+		t.Fatal("cancelled query produced a batch")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, _ := os.ReadDir(dir)
+		if len(entries) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel-during-build left %d spill entries behind", len(entries))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAggSpillDistinctHeavyGroups pins the budget seeing DISTINCT dedup
+// sets, not just group counts: few groups, each with a large distinct
+// set, must spill and — because the groups are divisible — finalize
+// within the budget.
+func TestAggSpillDistinctHeavyGroups(t *testing.T) {
+	const budget = 96
+	mem := newSpillEngine(t, -1)
+	spl := newSpillEngine(t, budget)
+	for _, e := range []*Engine{mem, spl} {
+		mustExec(t, e, `CREATE TABLE dh (grp INT, v INT)`)
+	}
+	// 80 groups × 20 distinct values each: group count alone (80) nearly
+	// fits the budget, but the dedup state (1600 entries per DISTINCT
+	// aggregate) does not — while each single group's state (≈41 rows
+	// for both aggregates) still fits, so recursive splitting must land
+	// the finalize inside the budget.
+	loadRows(t, []*Engine{mem, spl}, "dh", 1600, func(i int) string {
+		return fmt.Sprintf("(%d, %d)", i%80, i)
+	})
+	sql := `SELECT grp, COUNT(DISTINCT v), SUM(DISTINCT v) FROM dh GROUP BY grp`
+	want, _ := queryWithStats(t, mem, sql)
+	got, gotSt := queryWithStats(t, spl, sql)
+	checkSpilled(t, sql, gotSt, budget)
+	requireSameRows(t, sql, got, want)
+}
+
+// TestAggSpillSingleGroupDistinct is the documented carve-out: one group
+// whose DISTINCT set alone exceeds the budget is irreducible (splitting
+// by group key cannot divide it), so the query completes correctly,
+// spills during the drain, and reports the finalize-time overage
+// honestly in PeakResidentRows instead of hiding it.
+func TestAggSpillSingleGroupDistinct(t *testing.T) {
+	const budget = 64
+	mem := newSpillEngine(t, -1)
+	spl := newSpillEngine(t, budget)
+	for _, e := range []*Engine{mem, spl} {
+		mustExec(t, e, `CREATE TABLE sg (v INT)`)
+	}
+	const distinct = 800
+	loadRows(t, []*Engine{mem, spl}, "sg", 1600, func(i int) string {
+		return fmt.Sprintf("(%d)", i%distinct)
+	})
+	sql := `SELECT COUNT(DISTINCT v), SUM(DISTINCT v), COUNT(*) FROM sg`
+	want, _ := queryWithStats(t, mem, sql)
+	got, gotSt := queryWithStats(t, spl, sql)
+	if gotSt.Spills == 0 {
+		t.Fatalf("distinct-heavy single group did not spill: %+v", gotSt)
+	}
+	if gotSt.PeakResidentRows < distinct {
+		t.Fatalf("PeakResidentRows %d hides the irreducible %d-entry distinct set", gotSt.PeakResidentRows, distinct)
+	}
+	requireSameRows(t, sql, got, want)
+}

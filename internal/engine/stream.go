@@ -85,14 +85,17 @@ func (s *Stmt) Query(ctx context.Context) (RowIterator, error) {
 		// concurrent writers are not starved by open cursors.
 		s.e.execMu.RLock()
 		defer s.e.execMu.RUnlock()
-		pl, err := s.e.planSelect(sel)
+		qs := s.e.newQuerySpill()
+		pl, err := s.e.planSelect(sel, qs)
 		if err != nil {
+			qs.close()
 			return nil, err
 		}
 		return &opIterator{
 			ctx:  ctx,
 			root: pl.root,
 			cols: append([]ResultColumn{}, pl.cols...),
+			qs:   qs,
 		}, nil
 	}
 	res, err := s.e.Execute(s.stmt)
@@ -132,20 +135,54 @@ type opIterator struct {
 	ctx  context.Context
 	root operator
 	cols []ResultColumn
+	qs   *querySpill
 
-	opened   bool
-	inferred bool
-	done     bool
-	err      error
-	pending  []types.Row // batch computed early by Columns()
-	stats    ExecStats
+	opened     bool
+	inferred   bool
+	done       bool
+	err        error
+	pending    []types.Row // batch computed early by Columns()
+	stats      ExecStats
+	stopCancel func() // de-registers the ctx-cancel spill cleanup
 }
 
 // Stats reports the execution-memory accounting accumulated so far.
-func (it *opIterator) Stats() ExecStats { return it.stats }
+func (it *opIterator) Stats() ExecStats {
+	st := it.stats
+	if it.qs != nil {
+		st.BudgetRows = it.qs.budget.Limit()
+		st.Spills = it.qs.sess.Spills()
+		st.SpilledRows = it.qs.sess.SpilledRows()
+		st.SpillFiles = it.qs.sess.Files()
+	}
+	return st
+}
+
+// teardown releases the tree and every spill file. Idempotent; reached
+// from Close, end-of-stream and execution errors. Context cancellation
+// additionally removes the spill files via context.AfterFunc without
+// waiting for the consumer (see produce) — qs.close is concurrency-safe,
+// and operators mid-read survive the unlink until their next ctx check —
+// so even a cancelled-and-abandoned cursor leaves no temp files behind.
+func (it *opIterator) teardown() {
+	if it.stopCancel != nil {
+		it.stopCancel()
+		it.stopCancel = nil
+	}
+	if it.root != nil {
+		it.root.close()
+	}
+	it.qs.close()
+}
 
 func (it *opIterator) sampleResident(batchLen int) {
-	if res := it.root.resident() + batchLen; res > it.stats.PeakResidentRows {
+	res := it.root.resident() + batchLen
+	if it.qs != nil {
+		// Drain-time peaks inside blocking operators happen between the
+		// iterator's samples; they latch into the query-wide mark.
+		res = it.qs.peak.latch(res)
+	}
+	if res > it.stats.PeakResidentRows {
 		it.stats.PeakResidentRows = res
 	}
 }
@@ -160,6 +197,7 @@ func (it *opIterator) Columns() []ResultColumn {
 			} else {
 				it.done = true
 			}
+			it.teardown()
 		} else {
 			it.pending = rows
 		}
@@ -183,10 +221,10 @@ func (it *opIterator) NextBatch() ([]types.Row, error) {
 	if err != nil {
 		if err == io.EOF {
 			it.done = true
-			it.root.close()
 		} else {
 			it.err = err
 		}
+		it.teardown()
 		return nil, err
 	}
 	return rows, nil
@@ -198,6 +236,15 @@ func (it *opIterator) produce() ([]types.Row, error) {
 		return nil, err
 	}
 	if !it.opened {
+		// If the context dies while the tree blocks inside open/next (a
+		// spilling build or sort drain), remove the spill files right away
+		// rather than when the consumer gets around to Close: qs.close is
+		// safe against concurrent file creation, and readers survive the
+		// unlink until their next ctx check.
+		if it.qs != nil {
+			stop := context.AfterFunc(it.ctx, it.qs.close)
+			it.stopCancel = func() { stop() }
+		}
 		if err := it.root.open(it.ctx); err != nil {
 			it.root.close()
 			return nil, err
@@ -225,9 +272,7 @@ func (it *opIterator) produce() ([]types.Row, error) {
 func (it *opIterator) Close() error {
 	it.done = true
 	it.pending = nil
-	if it.root != nil {
-		it.root.close()
-	}
+	it.teardown()
 	return nil
 }
 

@@ -218,6 +218,9 @@ func (rw *rewriter) rewriteFunc(x *sqlparser.FuncCall) (*rval, error) {
 		}, nil
 
 	case "avg":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("proxy: AVG expects one argument")
+		}
 		rv, err := rw.aggArg(x.Args[0])
 		if err != nil {
 			return nil, err

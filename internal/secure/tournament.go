@@ -1,0 +1,80 @@
+package secure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// TournamentState is the serializable core of an sdb_min/sdb_max
+// masked-comparison tournament: the current winner's flat-key tag share
+// and the mask share of the same row (needed to compare that winner
+// against later candidates). The engine's aggregation operator keeps one
+// per partial group; spilling grouped state to disk round-trips it
+// through MarshalBinary/UnmarshalBinary.
+//
+// The zero state (nil Tag) means "no candidate seen yet" — a group whose
+// every input tag was NULL — and round-trips as such.
+type TournamentState struct {
+	Tag  *big.Int
+	Mask *big.Int
+}
+
+// Empty reports whether the tournament has seen no candidate.
+func (t TournamentState) Empty() bool { return t.Tag == nil }
+
+// MarshalBinary encodes the state as two length-prefixed big-endian
+// residues (length 0xFFFFFFFF marks the empty state).
+func (t TournamentState) MarshalBinary() ([]byte, error) {
+	if t.Empty() {
+		return binary.BigEndian.AppendUint32(nil, emptyTournament), nil
+	}
+	if t.Mask == nil {
+		return nil, fmt.Errorf("secure: tournament state has a tag but no mask")
+	}
+	out := appendResidue(nil, t.Tag)
+	return appendResidue(out, t.Mask), nil
+}
+
+// UnmarshalBinary decodes MarshalBinary output.
+func (t *TournamentState) UnmarshalBinary(data []byte) error {
+	if len(data) >= 4 && binary.BigEndian.Uint32(data) == emptyTournament {
+		t.Tag, t.Mask = nil, nil
+		return nil
+	}
+	tag, rest, err := readResidue(data)
+	if err != nil {
+		return fmt.Errorf("secure: bad tournament tag: %w", err)
+	}
+	mask, rest, err := readResidue(rest)
+	if err != nil {
+		return fmt.Errorf("secure: bad tournament mask: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("secure: %d trailing bytes after tournament state", len(rest))
+	}
+	t.Tag, t.Mask = tag, mask
+	return nil
+}
+
+// emptyTournament is an impossible residue length used as the empty-state
+// sentinel (a real residue of a 512-bit-plus modulus is far shorter).
+const emptyTournament = 0xFFFFFFFF
+
+func appendResidue(out []byte, v *big.Int) []byte {
+	raw := v.Bytes()
+	out = binary.BigEndian.AppendUint32(out, uint32(len(raw)))
+	return append(out, raw...)
+}
+
+func readResidue(data []byte) (*big.Int, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("truncated length prefix")
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	if uint64(n) > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("residue length %d exceeds remaining %d bytes", n, len(data))
+	}
+	return new(big.Int).SetBytes(data[:n]), data[n:], nil
+}

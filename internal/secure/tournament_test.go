@@ -1,0 +1,57 @@
+package secure
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestTournamentStateRoundTrip(t *testing.T) {
+	tag, _ := new(big.Int).SetString("deadbeefcafe0123456789abcdef", 16)
+	mask := big.NewInt(0) // a legitimate residue can be zero
+	cases := []TournamentState{
+		{},                     // empty: no candidate seen
+		{Tag: tag, Mask: mask}, // zero mask residue
+		{Tag: big.NewInt(1), Mask: tag},
+		{Tag: tag, Mask: new(big.Int).Lsh(tag, 300)},
+	}
+	for i, st := range cases {
+		raw, err := st.MarshalBinary()
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var got TournamentState
+		if err := got.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if got.Empty() != st.Empty() {
+			t.Fatalf("case %d: Empty() diverged", i)
+		}
+		if st.Empty() {
+			continue
+		}
+		if got.Tag.Cmp(st.Tag) != 0 || got.Mask.Cmp(st.Mask) != 0 {
+			t.Fatalf("case %d: round trip diverged: (%v,%v) != (%v,%v)", i, got.Tag, got.Mask, st.Tag, st.Mask)
+		}
+	}
+}
+
+func TestTournamentStateRejectsGarbage(t *testing.T) {
+	var st TournamentState
+	for _, raw := range [][]byte{
+		{1, 2, 3},                   // truncated length prefix
+		{0, 0, 0, 9, 1, 2},          // length exceeds payload
+		{0, 0, 0, 1, 5, 0, 0, 0, 1}, // second residue truncated
+	} {
+		if err := st.UnmarshalBinary(raw); err == nil {
+			t.Fatalf("decoded garbage %v without error", raw)
+		}
+	}
+	if err := (&TournamentState{Tag: big.NewInt(3)}).marshalMustFail(); err == nil {
+		t.Fatal("tag without mask must not marshal")
+	}
+}
+
+func (t *TournamentState) marshalMustFail() error {
+	_, err := t.MarshalBinary()
+	return err
+}

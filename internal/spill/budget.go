@@ -1,0 +1,110 @@
+// Package spill provides the building blocks for memory-budgeted
+// spill-to-disk execution: per-query row budgets with reservation
+// accounting, temp-file sessions whose lifetime is tied to the query, and
+// a length-prefixed row codec shared by every spill file format.
+//
+// The unit of accounting is the resident row — the same unit
+// engine.ExecStats reports — so a budget is directly comparable to the
+// PeakResidentRows a query ends up with.
+package spill
+
+import "sync/atomic"
+
+// Budget is a per-query resident-row budget shared by every blocking
+// operator in one query plan. Operators reserve rows before retaining
+// them and release on spill or close; a failed reservation is the spill
+// signal, never an error.
+//
+// The reservation threshold is the limit minus a headroom allowance for
+// state the pipeline holds without reserving (in-flight batches, merge
+// look-ahead rows, pending operator output), so that the sampled peak —
+// reservations plus that slack — stays at or under the limit.
+type Budget struct {
+	limit int64 // hard budget; <= 0 means unlimited
+	soft  int64 // reservation threshold (limit - headroom)
+	used  atomic.Int64
+}
+
+// NewBudget builds a budget of limit resident rows, keeping headroom rows
+// of it in reserve for unreserved pipeline slack. headroom is capped at
+// half the limit so tiny budgets still admit real reservations.
+// limit <= 0 means unlimited: every reservation succeeds.
+func NewBudget(limit, headroom int) *Budget {
+	b := &Budget{limit: int64(limit)}
+	if limit <= 0 {
+		return b
+	}
+	h := int64(headroom)
+	if h > b.limit/2 {
+		h = b.limit / 2
+	}
+	if h < 0 {
+		h = 0
+	}
+	b.soft = b.limit - h
+	if b.soft < 1 {
+		b.soft = 1
+	}
+	return b
+}
+
+// Unlimited reports whether the budget never forces a spill.
+func (b *Budget) Unlimited() bool { return b == nil || b.limit <= 0 }
+
+// Limit returns the hard budget in rows (0 = unlimited).
+func (b *Budget) Limit() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.limit)
+}
+
+// TryReserve attempts to reserve n more resident rows. It returns false —
+// without reserving anything — when the reservation would cross the
+// threshold; the caller should spill and Release what it holds.
+func (b *Budget) TryReserve(n int) bool {
+	if b.Unlimited() {
+		return true
+	}
+	for {
+		cur := b.used.Load()
+		next := cur + int64(n)
+		if next > b.soft {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// ForceReserve reserves n rows unconditionally. Operators use it for the
+// minimum working set they cannot make progress without (e.g. one build
+// chunk of a spilled join); it may overshoot the threshold under
+// concurrent pressure, which the headroom absorbs.
+func (b *Budget) ForceReserve(n int) {
+	if b.Unlimited() {
+		return
+	}
+	b.used.Add(int64(n))
+}
+
+// Release returns n reserved rows to the budget.
+func (b *Budget) Release(n int) {
+	if b.Unlimited() || n == 0 {
+		return
+	}
+	if b.used.Add(-int64(n)) < 0 {
+		// Releasing more than was reserved is a programming error upstream;
+		// clamp so accounting stays usable rather than wedging the query.
+		b.used.Store(0)
+	}
+}
+
+// Used reports the rows currently reserved.
+func (b *Budget) Used() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.used.Load())
+}

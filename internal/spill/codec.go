@@ -1,0 +1,200 @@
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sdb/internal/types"
+)
+
+// The spill codec frames every variable-length component with a length
+// prefix — the same discipline the engine's composite hash keys use — so
+// decoding is unambiguous for any value sequence: a value is one kind
+// byte followed by a kind-determined payload, and a row is a column count
+// followed by that many values. Integer-backed kinds (INT, DECIMAL, DATE,
+// BOOL) encode as zigzag varints, strings and shares as length-prefixed
+// bytes. The encoding is purely positional: no schema is stored, because
+// every spill file is read back by the operator that wrote it.
+
+// Writer encodes rows and scalars onto a buffered byte stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter wraps w in a buffered spill encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteUvarint writes one unsigned varint.
+func (w *Writer) WriteUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// WriteVarint writes one signed (zigzag) varint.
+func (w *Writer) WriteVarint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// WriteString writes a length-prefixed byte string.
+func (w *Writer) WriteString(s string) error {
+	if err := w.WriteUvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.w.WriteString(s)
+	return err
+}
+
+// WriteValue writes one typed value.
+func (w *Writer) WriteValue(v types.Value) error {
+	if err := w.w.WriteByte(byte(v.K)); err != nil {
+		return err
+	}
+	switch v.K {
+	case types.KindNull:
+		return nil
+	case types.KindInt, types.KindDecimal, types.KindDate, types.KindBool:
+		return w.WriteVarint(v.I)
+	case types.KindString:
+		return w.WriteString(v.S)
+	case types.KindShare:
+		var raw []byte
+		if v.B != nil {
+			raw = v.B.Bytes()
+		}
+		if err := w.WriteUvarint(uint64(len(raw))); err != nil {
+			return err
+		}
+		_, err := w.w.Write(raw)
+		return err
+	default:
+		return fmt.Errorf("spill: cannot encode value kind %s", v.K)
+	}
+}
+
+// WriteRow writes a column count and every value of the row.
+func (w *Writer) WriteRow(row types.Row) error {
+	if err := w.WriteUvarint(uint64(len(row))); err != nil {
+		return err
+	}
+	for _, v := range row {
+		if err := w.WriteValue(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader decodes what Writer encoded.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r in a buffered spill decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ReadUvarint reads one unsigned varint. io.EOF at a frame boundary is
+// returned verbatim so callers can detect clean end-of-file.
+func (r *Reader) ReadUvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err == io.ErrUnexpectedEOF {
+		return 0, fmt.Errorf("spill: truncated varint")
+	}
+	return v, err
+}
+
+// ReadVarint reads one signed varint. Like ReadUvarint, a clean io.EOF
+// before the first byte is returned verbatim (record boundary); EOF
+// inside the varint is a truncation error.
+func (r *Reader) ReadVarint() (int64, error) {
+	v, err := binary.ReadVarint(r.r)
+	if err == io.ErrUnexpectedEOF {
+		return 0, fmt.Errorf("spill: truncated varint")
+	}
+	return v, err
+}
+
+// ReadString reads a length-prefixed byte string. A clean io.EOF before
+// the length prefix is returned verbatim (record boundary).
+func (r *Reader) ReadString() (string, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		if err == io.EOF {
+			return "", io.EOF
+		}
+		return "", fmt.Errorf("spill: truncated string: %w", err)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r.r, raw); err != nil {
+		return "", fmt.Errorf("spill: truncated string: %w", err)
+	}
+	return string(raw), nil
+}
+
+// ReadValue reads one typed value.
+func (r *Reader) ReadValue() (types.Value, error) {
+	kb, err := r.r.ReadByte()
+	if err != nil {
+		return types.Null, fmt.Errorf("spill: truncated value: %w", err)
+	}
+	switch k := types.Kind(kb); k {
+	case types.KindNull:
+		return types.Null, nil
+	case types.KindInt, types.KindDecimal, types.KindDate, types.KindBool:
+		i, err := r.ReadVarint()
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Value{K: k, I: i}, nil
+	case types.KindString:
+		s, err := r.ReadString()
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewString(s), nil
+	case types.KindShare:
+		n, err := r.ReadUvarint()
+		if err != nil {
+			return types.Null, fmt.Errorf("spill: truncated share: %w", err)
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(r.r, raw); err != nil {
+			return types.Null, fmt.Errorf("spill: truncated share: %w", err)
+		}
+		return types.NewShare(new(big.Int).SetBytes(raw)), nil
+	default:
+		return types.Null, fmt.Errorf("spill: unknown value kind %d", kb)
+	}
+}
+
+// ReadRow reads one row. A clean io.EOF before the column count means the
+// stream is exhausted and is returned verbatim.
+func (r *Reader) ReadRow() (types.Row, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("spill: truncated row: %w", err)
+	}
+	row := make(types.Row, n)
+	for i := range row {
+		if row[i], err = r.ReadValue(); err != nil {
+			return nil, err
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,243 @@
+package spill
+
+import (
+	"bytes"
+	"io"
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sdb/internal/types"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	big1, _ := new(big.Int).SetString(strings.Repeat("f7", 64), 16)
+	vals := []types.Value{
+		types.Null,
+		types.NewInt(0),
+		types.NewInt(-1),
+		types.NewInt(1<<62 + 12345),
+		types.NewInt(-(1<<62 + 12345)),
+		types.NewDecimal(-99999),
+		types.NewDate(19876),
+		types.NewBool(true),
+		types.NewBool(false),
+		types.NewString(""),
+		types.NewString("plain"),
+		types.NewString("unicode ∅ δοκιμή\x00binary"),
+		types.NewShare(new(big.Int)),
+		types.NewShare(big.NewInt(7)),
+		types.NewShare(big1),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, v := range vals {
+		if err := w.WriteValue(v); err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for _, want := range vals {
+		got, err := r.ReadValue()
+		if err != nil {
+			t.Fatalf("decode %v: %v", want, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("round trip: got %v (%s), want %v (%s)", got, got.K, want, want.K)
+		}
+	}
+}
+
+func TestRowRoundTripAndEOF(t *testing.T) {
+	rows := []types.Row{
+		{},
+		{types.Null, types.NewInt(42)},
+		{types.NewString("a"), types.NewString("b"), types.NewShare(big.NewInt(9))},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, row := range rows {
+		if err := w.WriteRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for _, want := range rows {
+		got, err := r.ReadRow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("row width %d, want %d", len(got), len(want))
+		}
+		for c := range want {
+			if !got[c].Equal(want[c]) {
+				t.Fatalf("col %d: %v != %v", c, got[c], want[c])
+			}
+		}
+	}
+	if _, err := r.ReadRow(); err != io.EOF {
+		t.Fatalf("expected io.EOF after last row, got %v", err)
+	}
+}
+
+func TestTruncatedStreamSurfacesError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRow(types.Row{types.NewString("0123456789")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-4]
+	if _, err := NewReader(bytes.NewReader(cut)).ReadRow(); err == nil || err == io.EOF {
+		t.Fatalf("truncated row decoded without error (err=%v)", err)
+	}
+}
+
+func TestBudgetReserveReleaseThreshold(t *testing.T) {
+	b := NewBudget(100, 40)
+	// headroom 40 capped below limit/2? 40 < 50, threshold = 60.
+	if !b.TryReserve(60) {
+		t.Fatal("reservation up to the threshold must succeed")
+	}
+	if b.TryReserve(1) {
+		t.Fatal("reservation past the threshold must fail")
+	}
+	b.Release(10)
+	if !b.TryReserve(10) {
+		t.Fatal("released rows must be reservable again")
+	}
+	b.ForceReserve(1000)
+	if got := b.Used(); got != 1060 {
+		t.Fatalf("Used() = %d, want 1060", got)
+	}
+	b.Release(2000)
+	if got := b.Used(); got != 0 {
+		t.Fatalf("over-release must clamp to 0, got %d", got)
+	}
+}
+
+func TestBudgetHeadroomCappedForTinyLimits(t *testing.T) {
+	b := NewBudget(8, 1024)
+	// Headroom is capped at limit/2, so half the budget stays reservable.
+	if !b.TryReserve(4) {
+		t.Fatal("tiny budget must still admit limit/2 rows")
+	}
+	if b.TryReserve(1) {
+		t.Fatal("tiny budget over-admitted")
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	for _, b := range []*Budget{nil, NewBudget(0, 100), NewBudget(-5, 0)} {
+		if !b.Unlimited() {
+			t.Fatal("expected unlimited")
+		}
+		if !b.TryReserve(1 << 40) {
+			t.Fatal("unlimited budget refused a reservation")
+		}
+		b.Release(1 << 40)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	parent := t.TempDir()
+	s := NewSession(parent)
+	if entries, _ := os.ReadDir(parent); len(entries) != 0 {
+		t.Fatal("session created its directory eagerly")
+	}
+	f, err := s.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("payload"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Files() != 1 {
+		t.Fatalf("Files() = %d, want 1", s.Files())
+	}
+	if entries, _ := os.ReadDir(parent); len(entries) != 1 {
+		t.Fatalf("expected one session dir under parent, got %d entries", len(entries))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(parent); len(entries) != 0 {
+		t.Fatal("Close left the session directory behind")
+	}
+	// The open descriptor survives the unlink.
+	if _, err := f.WriteString("more"); err != nil {
+		t.Fatalf("write to unlinked spill file: %v", err)
+	}
+	f.Close()
+	if _, err := s.Create(); err == nil {
+		t.Fatal("Create after Close must fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+}
+
+// TestSessionCreateCloseRace hammers concurrent Create/Close: whatever
+// interleaving happens, the parent directory must end up empty.
+func TestSessionCreateCloseRace(t *testing.T) {
+	parent := t.TempDir()
+	for i := 0; i < 50; i++ {
+		s := NewSession(parent)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					f, err := s.Create()
+					if err != nil {
+						return // session closed under us — expected
+					}
+					f.WriteString("x")
+					f.Close()
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+		wg.Wait()
+		s.Close()
+		entries, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			var names []string
+			for _, e := range entries {
+				names = append(names, filepath.Join(parent, e.Name()))
+			}
+			t.Fatalf("iteration %d leaked spill state: %v", i, names)
+		}
+	}
+}
+
+func TestSessionCounters(t *testing.T) {
+	s := NewSession(t.TempDir())
+	s.AddSpilledRows(10)
+	s.AddSpilledRows(5)
+	s.AddSpill()
+	if s.SpilledRows() != 15 || s.Spills() != 1 {
+		t.Fatalf("counters = (%d rows, %d spills), want (15, 1)", s.SpilledRows(), s.Spills())
+	}
+	s.Close()
+}

@@ -36,12 +36,24 @@ go test ${SHORT_FLAG} ./...
 echo "== go test -race"
 go test -race ${SHORT_FLAG} ./...
 
-echo "== bench smoke (peak-resident-rows assertions)"
+echo "== engine suite under a forced tiny spill budget"
+# Re-run the whole engine test suite with a deliberately tiny per-query
+# memory budget: every blocking operator in every existing test is forced
+# through its spill path (Grace join, spilled aggregation, external merge
+# sort), so each engine test doubles as a spill regression test. The
+# spill paths are exactly order-preserving, which is why identical
+# assertions must keep passing. (The TPC-H differential additionally runs
+# a forced-spill execution mode inside the normal go test pass above.)
+SDB_MEM_BUDGET_ROWS=48 go test ${SHORT_FLAG} ./internal/engine
+
+echo "== bench smoke (peak-resident-rows + spill-budget assertions)"
 # One iteration of the streaming-memory benchmarks: BenchmarkStreamScan
 # asserts scan batches stay within the pool bound and
 # BenchmarkStreamScanJoinAgg asserts a join+aggregate pipeline stays within
-# build-side + aggregation-state + O(batch) resident rows. Both b.Fatal on
-# violation, so this is a correctness gate, not a measurement.
+# build-side + aggregation-state + O(batch) resident rows unbudgeted
+# (spill-off) and within the memory budget when forced to spill
+# (spill-on). All b.Fatal on violation, so this is a correctness gate,
+# not a measurement.
 go test -run=NONE -bench=StreamScan -benchtime=1x .
 
 if [[ -z "${SHORT_FLAG}" ]]; then
