@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -479,11 +480,18 @@ func BenchmarkStreamScan(b *testing.B) {
 // (30000 rows here). Plaintext engine with fixed pool geometry so the
 // bound is machine-independent.
 //
-// The spill-off variant runs unbudgeted (build + groups resident); the
-// spill-on variant runs under a memory budget smaller than either the
-// build side or the group table, asserts the operators actually spilled,
-// and asserts PeakResidentRows stayed at or under the budget — the
+// The spill-off variant runs unbudgeted (build + groups resident). The
+// spill-on variants run under a memory budget smaller than either the
+// build side or the group table, assert the operators actually spilled,
+// and assert PeakResidentRows stayed at or under the budget — the
 // memory-budget acceptance claim, as a b.Fatal correctness gate in CI.
+// spill-on-serial pins the serial spill schedule (partition pairs one at
+// a time); spill-on schedules spilled partitions across the worker pool
+// with double-buffered run-file reads and asserts the overlap actually
+// happened (SpillParallelism ≥ 2, PrefetchedBytes > 0). On a multi-core
+// runner spill-on should beat spill-on-serial by ≥ 1.5× (see
+// EXPERIMENTS.md); the ratio is not asserted because it is
+// machine-dependent.
 func BenchmarkStreamScanJoinAgg(b *testing.B) {
 	const (
 		factRows = 30000
@@ -492,9 +500,10 @@ func BenchmarkStreamScanJoinAgg(b *testing.B) {
 		chunk    = 64 // batch = 256 rows, small against the spill budget
 		budget   = 2048
 	)
-	newEng := func(budgetRows int) *engine.Engine {
+	newEng := func(budgetRows, spillPar int) *engine.Engine {
 		eng := engine.NewWithOptions(storage.NewCatalog(), nil,
-			engine.Options{Parallelism: workers, ChunkSize: chunk, MemBudgetRows: budgetRows, SpillDir: b.TempDir()})
+			engine.Options{Parallelism: workers, ChunkSize: chunk, MemBudgetRows: budgetRows,
+				SpillDir: b.TempDir(), SpillParallelism: spillPar})
 		mustExec := func(sql string) {
 			b.Helper()
 			if _, err := eng.ExecuteSQL(sql); err != nil {
@@ -573,7 +582,7 @@ func BenchmarkStreamScanJoinAgg(b *testing.B) {
 		// its own partial table, so a hot key is resident once per worker
 		// until the drain-end merge.
 		const bound = dimRows + workers*dimRows + 6*workers*chunk
-		run(b, newEng(-1), func(b *testing.B, peak int, stats engine.ExecStats) {
+		run(b, newEng(-1, 0), func(b *testing.B, peak int, stats engine.ExecStats) {
 			if stats.Spills != 0 {
 				b.Fatalf("unbudgeted run spilled: %+v", stats)
 			}
@@ -586,14 +595,40 @@ func BenchmarkStreamScanJoinAgg(b *testing.B) {
 		})
 	})
 
-	b.Run("spill-on", func(b *testing.B) {
-		run(b, newEng(budget), func(b *testing.B, peak int, stats engine.ExecStats) {
+	b.Run("spill-on-serial", func(b *testing.B) {
+		run(b, newEng(budget, 1), func(b *testing.B, peak int, stats engine.ExecStats) {
 			if stats.Spills == 0 {
 				b.Fatalf("budgeted run did not spill (build %d, groups %d, budget %d): %+v",
 					dimRows, dimRows, budget, stats)
 			}
 			if peak > budget {
 				b.Fatalf("peak resident rows %d exceeds the %d-row budget", peak, budget)
+			}
+			if stats.SpillParallelism > 1 {
+				b.Fatalf("serial spill schedule overlapped %d tasks", stats.SpillParallelism)
+			}
+		})
+	})
+
+	b.Run("spill-on", func(b *testing.B) {
+		// Pin the spill-worker count explicitly (not 0) so an ambient
+		// SDB_SPILL_PARALLEL cannot change this gate's geometry.
+		run(b, newEng(budget, workers), func(b *testing.B, peak int, stats engine.ExecStats) {
+			if stats.Spills == 0 {
+				b.Fatalf("budgeted run did not spill (build %d, groups %d, budget %d): %+v",
+					dimRows, dimRows, budget, stats)
+			}
+			if peak > budget {
+				b.Fatalf("peak resident rows %d exceeds the %d-row budget", peak, budget)
+			}
+			// On one core goroutines run tasks back to back, so overlap
+			// (and the speedup) needs a multi-core runner — the same
+			// caveat as every parallel claim in EXPERIMENTS.md.
+			if stats.SpillParallelism < 2 && runtime.GOMAXPROCS(0) > 1 {
+				b.Fatalf("spilled work never overlapped (%d workers): %+v", workers, stats)
+			}
+			if stats.PrefetchedBytes == 0 {
+				b.Fatalf("no run-file bytes prefetched: %+v", stats)
 			}
 		})
 	})

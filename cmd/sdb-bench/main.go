@@ -34,10 +34,12 @@ type execOpts struct {
 	parallel  int
 	chunk     int
 	memBudget int
+	spillPar  int
 }
 
 func (o execOpts) engine() engine.Options {
-	return engine.Options{Parallelism: o.parallel, ChunkSize: o.chunk, MemBudgetRows: o.memBudget}
+	return engine.Options{Parallelism: o.parallel, ChunkSize: o.chunk,
+		MemBudgetRows: o.memBudget, SpillParallelism: o.spillPar}
 }
 
 func (o execOpts) proxy() proxy.Options {
@@ -51,8 +53,9 @@ func main() {
 	par := flag.Int("parallel", 0, "secure-operator worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "rows per evaluation chunk (0 = default 1024)")
 	memBudget := flag.Int("mem-budget", 0, "per-query resident-row budget; blocking operators spill past it (0 = SDB_MEM_BUDGET_ROWS or unlimited, <0 = unlimited)")
+	spillPar := flag.Int("spill-parallel", 0, "concurrent spilled-partition tasks per query (0 = SDB_SPILL_PARALLEL or -parallel, 1 = serial spill schedule)")
 	flag.Parse()
-	opts := execOpts{parallel: *par, chunk: *chunk, memBudget: *memBudget}
+	opts := execOpts{parallel: *par, chunk: *chunk, memBudget: *memBudget, spillPar: *spillPar}
 
 	switch *exp {
 	case "coverage":

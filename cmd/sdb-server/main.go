@@ -26,6 +26,7 @@ func main() {
 	chunk := flag.Int("chunk", 0, "rows per evaluation chunk (0 = default 1024)")
 	memBudget := flag.Int("mem-budget", 0, "per-query resident-row budget; blocking operators spill to disk past it (0 = SDB_MEM_BUDGET_ROWS or unlimited, <0 = unlimited)")
 	spillDir := flag.String("spill-dir", "", "directory for spill temp files (default SDB_SPILL_DIR or the system temp dir)")
+	spillPar := flag.Int("spill-parallel", 0, "concurrent spilled-partition tasks per query (0 = SDB_SPILL_PARALLEL or -parallel, 1 = serial spill schedule)")
 	flag.Parse()
 
 	if *public == "" {
@@ -43,6 +44,7 @@ func main() {
 	srv := server.NewWithOptions(params.N, engine.Options{
 		Parallelism: *par, ChunkSize: *chunk,
 		MemBudgetRows: *memBudget, SpillDir: *spillDir,
+		SpillParallelism: *spillPar,
 	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"sdb/internal/parallel"
 	"sdb/internal/spill"
@@ -37,12 +38,14 @@ type aggGroup struct {
 // When the group tables would cross the query's memory budget, the
 // accumulated state spills: every group's serialized transition states
 // append to one of spillPartitions key-hash partition files and the
-// resident tables reset. Finalization then merges each partition's
-// spilled generations one partition at a time (state merges are
-// associative and value-deterministic, so re-association on disk cannot
-// change results), sorts each partition's groups by first-encounter
-// index into a run, and streams the k-way merge of those runs — the
-// exact output order of the in-memory path.
+// resident tables reset. Finalization then merges the partitions'
+// spilled generations concurrently on the query's spill workers — one
+// partition per worker at a time (state merges are associative and
+// value-deterministic, so re-association on disk cannot change
+// results) — sorts each partition's groups by first-encounter index
+// into a run, and streams the k-way merge of those runs — the exact
+// output order of the in-memory path, regardless of worker completion
+// order.
 type hashAggOp struct {
 	e        *Engine
 	child    operator
@@ -62,6 +65,10 @@ type hashAggOp struct {
 	reserved   int        // groups currently reserved against the budget
 	spillFiles []*aggFile // per key-hash partition; nil until first spill
 	merge      *mergeIter // first-encounter-ordered output when spilled
+	// finalRows sums the merged-table weights resident across the
+	// concurrently finalizing partitions, so the latched peak reflects
+	// every partition a spill worker holds at once.
+	finalRows atomic.Int64
 }
 
 // aggFile is one aggregation spill partition: serialized group records
@@ -298,31 +305,45 @@ func (op *hashAggOp) readRecord(r *spill.Reader) (aggRecord, error) {
 }
 
 // finalizeSpilled completes a spilled aggregation: the still-resident
-// groups flush as a final generation, then each key-hash partition is
-// merged on its own — every generation's record for a key folds into one
-// group — sorted by first-encounter index and written as a run. The
-// merge of those runs streams groups in exact first-encounter order with
-// one partition (plus merge look-ahead) resident at a time.
+// groups flush as a final generation, then the key-hash partitions merge
+// concurrently on the query's spill workers — every generation's record
+// for a key folds into one group, each partition sorted by
+// first-encounter index and written as a run. A key lives in exactly one
+// partition, so workers share nothing but the budget (atomic
+// reservations) and the session; the final combine is deterministic
+// because runs are gathered in partition order and the tag-ordered merge
+// streams groups in exact first-encounter order whatever the completion
+// order was, with one partition per worker (plus merge look-ahead)
+// resident at a time.
 func (op *hashAggOp) finalizeSpilled(partials []map[string]*aggGroup) error {
 	if err := op.spillGroups(partials); err != nil {
 		return err
 	}
-	var runs []*runFile
-	fail := func(err error) error {
-		closeRunFiles(runs)
-		return err
-	}
-	for _, af := range op.spillFiles {
-		rs, err := op.partitionRuns(af, 0)
-		if err != nil {
-			return fail(err)
+	perPart := make([][]*runFile, len(op.spillFiles))
+	err := op.qs.spillPool().ForEachChunk(len(op.spillFiles), func(_, lo, hi int) error {
+		for p := lo; p < hi; p++ {
+			leave := op.qs.enterSpillWorker()
+			rs, err := op.partitionRuns(op.spillFiles[p], 0)
+			leave()
+			if err != nil {
+				return err
+			}
+			perPart[p] = rs
 		}
-		runs = append(runs, rs...)
-	}
+		return nil
+	})
 	for _, af := range op.spillFiles {
 		af.close()
 	}
 	op.spillFiles = nil
+	var runs []*runFile
+	for _, rs := range perPart {
+		runs = append(runs, rs...)
+	}
+	if err != nil {
+		closeRunFiles(runs)
+		return err
+	}
 	m, err := boundedMerge(op.qs, runs, tagCompare, op.batch)
 	if err != nil {
 		return err
@@ -370,7 +391,15 @@ func (op *hashAggOp) partitionRuns(af *aggFile, depth int) ([]*runFile, error) {
 		if canSplit && af.groups > minSpillChunkRows {
 			return op.splitAndRecurse(af, depth)
 		}
-		op.qs.budget.ForceReserve(af.groups)
+		// Irreducible partition: force only the minimum working set.
+		// af.groups counts records across spill generations, which can
+		// far overestimate the merged table (a hot key contributes one
+		// record per generation but one merged group); the true weight
+		// reconciles right after the merge below, so the forced
+		// overshoot per worker stays bounded by minSpillChunkRows plus
+		// any genuinely irreducible merged weight.
+		reserved = minSpillChunkRows
+		op.qs.budget.ForceReserve(reserved)
 	}
 	merged, err := op.mergePartition(af)
 	if err != nil {
@@ -390,8 +419,9 @@ func (op *hashAggOp) partitionRuns(af *aggFile, depth int) ([]*runFile, error) {
 		}
 		reserved = weight
 	}
-	op.qs.peak.latch(weight)
+	op.qs.peak.latch(int(op.finalRows.Add(int64(weight))))
 	run, err := op.writeOutputRun(merged)
+	op.finalRows.Add(int64(-weight))
 	op.qs.budget.Release(reserved)
 	if err != nil {
 		return nil, err
@@ -618,6 +648,7 @@ func (op *hashAggOp) next() ([]types.Row, error) {
 func (op *hashAggOp) close() error {
 	op.win = rowWindow{}
 	op.ngroups = 0
+	op.finalRows.Store(0)
 	op.qs.budget.Release(op.reserved)
 	op.reserved = 0
 	for _, af := range op.spillFiles {

@@ -8,6 +8,15 @@
 // The engine never holds key material: everything it can compute about
 // sensitive data is exactly what the tokens in the rewritten query let it
 // compute, which is the paper's security posture at the SP.
+//
+// Execution shape (docs/architecture.md, docs/operators.md): every
+// SELECT plans a Volcano-style streaming operator tree whose blocking
+// operators retain bounded state; per-row work runs chunked on the
+// internal/parallel pool; and past the per-query memory budget the
+// blocking operators spill to internal/spill sessions — independent
+// spilled partitions executing in parallel on the same pool, with
+// double-buffered run-file reads — while preserving the exact in-memory
+// output order.
 package engine
 
 import (
@@ -44,6 +53,9 @@ const (
 	// SpillDirEnv is the default spill directory applied when
 	// Options.SpillDir is empty.
 	SpillDirEnv = "SDB_SPILL_DIR"
+	// SpillParallelEnv is the default spilled-work parallelism applied
+	// when Options.SpillParallelism is zero.
+	SpillParallelEnv = "SDB_SPILL_PARALLEL"
 )
 
 // Engine executes statements against a catalog.
@@ -59,6 +71,10 @@ type Engine struct {
 	// blocking operator would cross it, the operator spills to spillDir.
 	budgetRows int
 	spillDir   string
+	// spillWorkers bounds the concurrent spilled-work tasks of one query
+	// (Grace partition pairs, aggregation partition merges, run
+	// pre-merge groups); resolved from Options.SpillParallelism.
+	spillWorkers int
 	// execMu serializes writers (CREATE/INSERT/UPDATE) against readers.
 	// SELECTs share the read lock and hold it only while planning: every
 	// scanOp snapshots its table's column-slice headers under the lock,
@@ -92,6 +108,14 @@ type Options struct {
 	// ephemeral subdirectory per query, removed when the query ends). ""
 	// means the SDB_SPILL_DIR environment default, else os.TempDir().
 	SpillDir string
+	// SpillParallelism bounds the concurrent spilled-work tasks of one
+	// query: independent Grace join partition pairs, aggregation
+	// partition merges and run pre-merge groups are scheduled onto this
+	// many workers of the shared pool. 0 means the SDB_SPILL_PARALLEL
+	// environment default, or — when that is unset — the pool's worker
+	// bound (spilled and resident execution share the same parallelism);
+	// 1 forces the serial spill schedule.
+	SpillParallelism int
 }
 
 // New builds an engine over the catalog with default (GOMAXPROCS-wide)
@@ -134,6 +158,17 @@ func (e *Engine) applyOptions(opts Options) {
 	e.spillDir = opts.SpillDir
 	if e.spillDir == "" {
 		e.spillDir = os.Getenv(SpillDirEnv)
+	}
+	e.spillWorkers = opts.SpillParallelism
+	if e.spillWorkers == 0 {
+		if s := os.Getenv(SpillParallelEnv); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				e.spillWorkers = n
+			}
+		}
+	}
+	if e.spillWorkers <= 0 {
+		e.spillWorkers = e.pool.Workers()
 	}
 }
 

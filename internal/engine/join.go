@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"io"
+	"sync/atomic"
 
 	"sdb/internal/parallel"
 	"sdb/internal/sqlparser"
@@ -48,12 +49,14 @@ func concatRows(a, b types.Row) types.Row {
 // serial nested loop on the same inputs.
 //
 // When the build side would cross the query's memory budget the join goes
-// Grace: both inputs are hash-partitioned to spill files, partition pairs
-// are joined one at a time (re-partitioning recursively when a build
-// partition alone exceeds the budget, chunking it when re-hashing cannot
-// split further), and every leaf emits a run of output rows tagged with
-// (probe index, build index). Merging the runs by those tags restores the
-// exact in-memory output order, so spilled and resident execution are
+// Grace: both inputs are hash-partitioned to spill files, and the
+// independent partition pairs build-and-probe concurrently on the query's
+// spill workers (re-partitioning recursively when a build partition alone
+// exceeds the shared budget, chunking it when re-hashing cannot split
+// further). Every leaf owns its run files and emits output rows tagged
+// with (probe index, build index); merging the runs by those tags
+// restores the exact in-memory output order regardless of which worker
+// finished first, so spilled, parallel-spilled and resident execution are
 // indistinguishable to callers — the differential suites assert it.
 type hashJoinOp struct {
 	e           *Engine
@@ -76,7 +79,10 @@ type hashJoinOp struct {
 	buildFiles []*runFile // per hash partition; tag a = build row index
 	probeFiles []*runFile // per hash partition; tag a = probe row index
 	merge      *mergeIter // restored-order output of the leaf joins
-	leafRows   int        // rows resident in the active leaf build table
+	// leafRows sums the rows resident across all concurrently active
+	// leaf build tables (partition pairs run in parallel on the spill
+	// workers, each adding its leaf's rows while they are loaded).
+	leafRows atomic.Int64
 }
 
 func (op *hashJoinOp) columns() []relCol { return op.schema }
@@ -259,6 +265,7 @@ func (op *hashJoinOp) probe(batch []types.Row) error {
 
 func (op *hashJoinOp) close() error {
 	op.parts, op.buildRows = nil, 0
+	op.leafRows.Store(0)
 	op.out = joinOutput{}
 	op.qs.budget.Release(op.reserved)
 	op.reserved = 0
@@ -275,8 +282,8 @@ func (op *hashJoinOp) resident() int {
 	n := op.buildRows
 	if op.spilling {
 		// The build side lives on disk; resident state is the active leaf
-		// table plus the merge look-ahead.
-		n = op.leafRows + op.merge.resident()
+		// tables plus the merge look-ahead.
+		n = int(op.leafRows.Load()) + op.merge.resident()
 	}
 	return n + op.out.pending() + op.left.resident() + op.right.resident()
 }
@@ -376,21 +383,45 @@ func (op *hashJoinOp) graceJoin() error {
 	}
 	op.left.close()
 
-	var runs []*runFile
+	// Independent partition pairs join concurrently on the query's spill
+	// workers: each pair owns its own build/probe files and every leaf
+	// writes its own run files, so workers share nothing but the budget
+	// (atomic reservations) and the session (mutex-guarded file
+	// creation). Per-pair runs are gathered in partition order, but the
+	// tag-ordered merge restores the exact global output order whatever
+	// the completion order was.
+	type partPair struct{ build, probe *runFile }
+	var pairs []partPair
 	for p := range op.buildFiles {
 		if op.buildFiles[p].count() == 0 || op.probeFiles[p].count() == 0 {
 			continue
 		}
-		rs, err := op.joinPartition(op.buildFiles[p], op.probeFiles[p], 0)
-		if err != nil {
-			closeRunFiles(runs)
-			return err
-		}
-		runs = append(runs, rs...)
+		pairs = append(pairs, partPair{build: op.buildFiles[p], probe: op.probeFiles[p]})
 	}
+	perPair := make([][]*runFile, len(pairs))
+	err := op.qs.spillPool().ForEachChunk(len(pairs), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			leave := op.qs.enterSpillWorker()
+			rs, err := op.joinPartition(pairs[i].build, pairs[i].probe, 0)
+			leave()
+			if err != nil {
+				return err
+			}
+			perPair[i] = rs
+		}
+		return nil
+	})
 	closeRunFiles(op.buildFiles)
 	closeRunFiles(op.probeFiles)
 	op.buildFiles, op.probeFiles = nil, nil
+	var runs []*runFile
+	for _, rs := range perPair {
+		runs = append(runs, rs...)
+	}
+	if err != nil {
+		closeRunFiles(runs)
+		return err
+	}
 	m, err := boundedMerge(op.qs, runs, tagCompare, op.batch)
 	if err != nil {
 		return err
@@ -418,17 +449,24 @@ func (op *hashJoinOp) joinPartition(build, probe *runFile, depth int) ([]*runFil
 }
 
 // joinResident loads one build partition into a key-indexed table (rows
-// keep build order) and streams the probe partition through it.
+// keep build order) and streams the probe partition through it. The
+// leaf's rows count into the shared leafRows sum while resident, so the
+// latched peak reflects every concurrently loaded leaf table.
 func (op *hashJoinOp) joinResident(build, probe *runFile, reserved int) (*runFile, error) {
+	// loaded is the count this leaf has added to the shared leafRows sum
+	// (set only once the table is fully built, so an error mid-load
+	// never un-counts rows that were never counted).
+	loaded := 0
 	defer func() {
 		op.qs.budget.Release(reserved)
-		op.leafRows = 0
+		op.leafRows.Add(int64(-loaded))
 	}()
 	table := make(map[string][]taggedRow)
 	br, err := build.openReader()
 	if err != nil {
 		return nil, err
 	}
+	n := 0
 	for i := 0; ; i++ {
 		if i%1024 == 0 {
 			if err := op.ctx.Err(); err != nil {
@@ -447,9 +485,10 @@ func (op *hashJoinOp) joinResident(build, probe *runFile, reserved int) (*runFil
 			return nil, err
 		}
 		table[key] = append(table[key], tr)
-		op.leafRows++
+		n++
 	}
-	op.qs.peak.latch(op.leafRows)
+	loaded = n
+	op.qs.peak.latch(int(op.leafRows.Add(int64(loaded))))
 	return op.probeTable(table, probe)
 }
 
@@ -628,11 +667,10 @@ func (op *hashJoinOp) joinChunked(build, probe *runFile) ([]*runFile, error) {
 			op.qs.budget.Release(reserved)
 			return runs, nil
 		}
-		op.leafRows = got
-		op.qs.peak.latch(got)
+		op.qs.peak.latch(int(op.leafRows.Add(int64(got))))
 		run, err := op.probeTable(table, probe)
 		op.qs.budget.Release(reserved)
-		op.leafRows = 0
+		op.leafRows.Add(int64(-got))
 		if err != nil {
 			return fail(err)
 		}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"io"
 	"math/big"
+	"sync/atomic"
 
 	"sdb/internal/parallel"
 	"sdb/internal/storage"
@@ -40,15 +41,24 @@ type operator interface {
 	resident() int
 }
 
-// residentPeak latches a subtree's high-water resident-row count.
-type residentPeak struct{ peak int }
+// residentPeak latches a subtree's high-water resident-row count. The
+// latch is lock-free because spilled partition workers running
+// concurrently on the worker pool all latch their drain peaks into the
+// same query-wide mark.
+type residentPeak struct{ peak atomic.Int64 }
 
 // latch records cur if it is a new maximum and returns the maximum.
 func (rp *residentPeak) latch(cur int) int {
-	if cur > rp.peak {
-		rp.peak = cur
+	c := int64(cur)
+	for {
+		old := rp.peak.Load()
+		if c <= old {
+			return int(old)
+		}
+		if rp.peak.CompareAndSwap(old, c) {
+			return cur
+		}
 	}
-	return rp.peak
 }
 
 // rowWindow serves a materialized row slice in batch-sized windows,
@@ -103,6 +113,14 @@ type ExecStats struct {
 	// SpillFiles counts the temp files the query created; all of them are
 	// removed by the time the iterator closes.
 	SpillFiles int
+	// SpillParallelism is the maximum number of spilled-work tasks —
+	// Grace join partition pairs, aggregation partition merges, run
+	// pre-merge groups — observed in flight at once. 0 when the query
+	// never scheduled spilled work; 1 when it all ran serially.
+	SpillParallelism int
+	// PrefetchedBytes counts bytes the double-buffered run-file readers
+	// loaded ahead of consumption (disk latency overlapped with compute).
+	PrefetchedBytes int64
 }
 
 // ---- scan ----------------------------------------------------------------

@@ -17,7 +17,9 @@ import (
 	"errors"
 	"io"
 	"os"
+	"sync/atomic"
 
+	"sdb/internal/parallel"
 	"sdb/internal/spill"
 	"sdb/internal/types"
 )
@@ -29,11 +31,15 @@ type taggedRow struct {
 }
 
 // spillFile is the shared lifecycle of one spill temp file: buffered
-// writes, a flush-and-rewind transition to reading, and idempotent
-// descriptor release (the session unlinks the file itself).
+// writes, a flush-and-rewind transition to double-buffered reading, and
+// idempotent descriptor release (the session unlinks the file itself).
 type spillFile struct {
-	f *os.File
-	w *spill.Writer
+	f    *os.File
+	w    *spill.Writer
+	sess *spill.Session
+	// pf is the active read-ahead goroutine's reader; it must be joined
+	// (Close) before the descriptor is seeked or closed.
+	pf *spill.PrefetchReader
 }
 
 func newSpillFile(qs *querySpill) (spillFile, error) {
@@ -41,23 +47,38 @@ func newSpillFile(qs *querySpill) (spillFile, error) {
 	if err != nil {
 		return spillFile{}, err
 	}
-	return spillFile{f: f, w: spill.NewWriter(f)}, nil
+	return spillFile{f: f, w: spill.NewWriter(f), sess: qs.sess}, nil
 }
 
-// rewind flushes pending writes and positions a fresh reader at the
-// start of the file. Only one reader may be active at a time (readers
-// share the descriptor's offset).
+// rewind flushes pending writes and positions a fresh double-buffered
+// reader at the start of the file: a prefetch goroutine fills the next
+// block while the caller decodes the current one, so disk latency
+// overlaps compute on every spill read path. Only one reader may be
+// active at a time (readers share the descriptor's offset); rewinding
+// joins the previous reader's prefetcher first.
 func (sf *spillFile) rewind() (*spill.Reader, error) {
+	sf.stopPrefetch()
 	if err := sf.w.Flush(); err != nil {
 		return nil, err
 	}
 	if _, err := sf.f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	return spill.NewReader(sf.f), nil
+	sf.pf = spill.NewPrefetchReader(sf.f, 0, sf.sess.AddPrefetchedBytes)
+	return spill.NewReader(sf.pf), nil
+}
+
+// stopPrefetch joins the active read-ahead goroutine, if any, so the
+// descriptor can be safely seeked or closed afterwards.
+func (sf *spillFile) stopPrefetch() {
+	if sf.pf != nil {
+		sf.pf.Close()
+		sf.pf = nil
+	}
 }
 
 func (sf *spillFile) close() error {
+	sf.stopPrefetch()
 	if sf.f == nil {
 		return nil
 	}
@@ -331,46 +352,104 @@ func mergeFanIn(limit int) int {
 	return f
 }
 
-// boundedMerge merges runs with a budget-scaled fan-in: while more runs
-// exist than the fan-in allows, groups of runs pre-merge into single
-// intermediate runs on disk (tags preserved, so ordering survives every
-// pass), and the returned iterator never holds more than fan-in
-// look-ahead rows. Like newMergeIter it takes ownership of the runs: on
-// any error every run (original or intermediate) is closed.
-func boundedMerge(qs *querySpill, runs []*runFile, cmp func(x, y *taggedRow) (int, error), batch int) (*mergeIter, error) {
-	fanIn := mergeFanIn(qs.budget.Limit())
-	for len(runs) > fanIn {
-		group := runs[:fanIn]
-		rest := runs[fanIn:]
-		m, err := newMergeIter(group, cmp, batch) // closes group on error
-		if err != nil {
-			closeRunFiles(rest)
-			return nil, err
+// mergeRunsToFile k-way merges one group of runs into a single
+// intermediate run on disk. It takes ownership of the group (closed on
+// success and on every error path); the output run is closed on error.
+func mergeRunsToFile(qs *querySpill, group []*runFile, cmp func(x, y *taggedRow) (int, error), batch int) (*runFile, error) {
+	m, err := newMergeIter(group, cmp, batch) // closes group on error
+	if err != nil {
+		return nil, err
+	}
+	out, err := newRunFile(qs)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	for {
+		tr, err := m.nextTagged()
+		if err == io.EOF {
+			break
 		}
-		out, err := newRunFile(qs)
+		if err == nil {
+			qs.sess.AddSpilledRows(1)
+			err = out.write(tr)
+		}
 		if err != nil {
 			m.close()
-			closeRunFiles(rest)
+			out.close()
 			return nil, err
 		}
-		for {
-			tr, err := m.nextTagged()
-			if err == io.EOF {
-				break
-			}
-			if err == nil {
-				qs.sess.AddSpilledRows(1)
-				err = out.write(tr)
-			}
-			if err != nil {
-				m.close()
-				out.close()
-				closeRunFiles(rest)
-				return nil, err
-			}
+	}
+	m.close() // releases the group's descriptors
+	return out, nil
+}
+
+// boundedMerge merges runs with a budget-scaled fan-in: while more runs
+// exist than the fan-in allows, the runs pre-merge as a parallel fan-in
+// tree — every group of fan-in runs merges into one intermediate run,
+// all groups of a pass running concurrently on the query's spill workers
+// (tags are preserved, so ordering survives every pass and the pass
+// layout cannot change results) — and the returned iterator never holds
+// more than fan-in look-ahead rows. Like newMergeIter it takes ownership
+// of the runs: on any error every run (original or intermediate) is
+// closed.
+func boundedMerge(qs *querySpill, runs []*runFile, cmp func(x, y *taggedRow) (int, error), batch int) (*mergeIter, error) {
+	fanIn := mergeFanIn(qs.budget.Limit())
+	// Each in-flight group merge holds up to fanIn unreserved look-ahead
+	// rows. The serial design sized one group's look-ahead inside the
+	// budget headroom; running P groups at once multiplies it by P, so
+	// cap the pass concurrency to keep the aggregate look-ahead within a
+	// quarter of the budget, and latch it so the peak stays honest.
+	workers := qs.workers
+	if limit := qs.budget.Limit(); limit > 0 {
+		if c := limit / 4 / fanIn; c < workers {
+			workers = c
 		}
-		m.close() // releases the group's descriptors
-		runs = append(append(make([]*runFile, 0, len(rest)+1), rest...), out)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	var lookAhead atomic.Int64
+	for len(runs) > fanIn {
+		ngroups := (len(runs) + fanIn - 1) / fanIn
+		outs := make([]*runFile, ngroups)
+		claimed := make([]bool, ngroups)
+		err := parallel.New(workers, 1).ForEachChunk(ngroups, func(_, lo, hi int) error {
+			for g := lo; g < hi; g++ {
+				claimed[g] = true
+				glo, ghi := g*fanIn, (g+1)*fanIn
+				if ghi > len(runs) {
+					ghi = len(runs)
+				}
+				leave := qs.enterSpillWorker()
+				qs.peak.latch(int(lookAhead.Add(int64(ghi - glo))))
+				out, err := mergeRunsToFile(qs, runs[glo:ghi], cmp, batch)
+				lookAhead.Add(int64(glo - ghi))
+				leave()
+				if err != nil {
+					return err
+				}
+				outs[g] = out
+			}
+			return nil
+		})
+		if err != nil {
+			// Started groups closed their own inputs; sweep the rest.
+			for g := range outs {
+				if outs[g] != nil {
+					outs[g].close()
+				}
+				if !claimed[g] {
+					ghi := (g + 1) * fanIn
+					if ghi > len(runs) {
+						ghi = len(runs)
+					}
+					closeRunFiles(runs[g*fanIn : ghi])
+				}
+			}
+			return nil, err
+		}
+		runs = outs
 	}
 	return newMergeIter(runs, cmp, batch)
 }

@@ -8,7 +8,12 @@
 // spill directory, so no temp files outlive the query.
 package engine
 
-import "sdb/internal/spill"
+import (
+	"sync/atomic"
+
+	"sdb/internal/parallel"
+	"sdb/internal/spill"
+)
 
 // spillPartitions is the Grace fan-out: how many hash partitions a
 // spilling join or aggregation splits its state into. Each partition is
@@ -28,12 +33,21 @@ const minSpillChunkRows = 16
 
 // querySpill is the per-query execution context shared by every blocking
 // operator in one plan (including FROM-subquery subtrees): the memory
-// budget, the spill-file session, and the query-wide resident-row
-// high-water mark blocking operators latch their drain peaks into.
+// budget, the spill-file session, the query-wide resident-row high-water
+// mark blocking operators latch their drain peaks into, and the worker
+// bound spilled work (partition pairs, partition merges, run pre-merges)
+// is scheduled under.
 type querySpill struct {
 	budget *spill.Budget
 	sess   *spill.Session
 	peak   residentPeak
+
+	// workers bounds concurrent spilled-work tasks for this query;
+	// active/maxActive track how many actually ran at once (reported as
+	// ExecStats.SpillParallelism).
+	workers   int
+	active    atomic.Int64
+	maxActive atomic.Int64
 }
 
 // newQuerySpill builds the spill context for one query. The budget
@@ -41,9 +55,32 @@ type querySpill struct {
 // one in-flight batch for a handful of stages plus merge look-ahead.
 func (e *Engine) newQuerySpill() *querySpill {
 	return &querySpill{
-		budget: spill.NewBudget(e.budgetRows, 6*e.batchRows()),
-		sess:   spill.NewSession(e.spillDir),
+		budget:  spill.NewBudget(e.budgetRows, 6*e.batchRows()),
+		sess:    spill.NewSession(e.spillDir),
+		workers: e.spillWorkers,
 	}
+}
+
+// spillPool returns a pool that dispatches spilled-work tasks one at a
+// time (chunk size 1): independent Grace partition pairs, aggregation
+// partition merges and run pre-merge groups each occupy one worker until
+// done, so skewed partitions load-balance across the bound.
+func (q *querySpill) spillPool() *parallel.Pool {
+	return parallel.New(q.workers, 1)
+}
+
+// enterSpillWorker marks one spilled-work task in flight and returns its
+// leave function. The high-water concurrency latches for
+// ExecStats.SpillParallelism.
+func (q *querySpill) enterSpillWorker() func() {
+	cur := q.active.Add(1)
+	for {
+		old := q.maxActive.Load()
+		if cur <= old || q.maxActive.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	return func() { q.active.Add(-1) }
 }
 
 // close releases every temp file of the query. Idempotent.

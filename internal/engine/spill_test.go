@@ -18,7 +18,10 @@ import (
 // machine-independent and the in-flight-batch slack stays well inside
 // the budget headroom.
 func spillOptions(budget int, dir string) Options {
-	return Options{Parallelism: 2, ChunkSize: 4, MemBudgetRows: budget, SpillDir: dir}
+	// SpillParallelism is pinned so ambient SDB_SPILL_PARALLEL cannot
+	// change the schedule these budget/peak assertions were sized for.
+	return Options{Parallelism: 2, ChunkSize: 4, MemBudgetRows: budget, SpillDir: dir,
+		SpillParallelism: 2}
 }
 
 // newSpillEngine builds an engine with the pinned geometry and the given

@@ -40,8 +40,12 @@ type diffTable struct {
 // given budget (-1 = truly unlimited regardless of environment).
 func buildDiffEngine(t *testing.T, c *diffCase, budget int, dir string) (*Engine, error) {
 	t.Helper()
+	// SpillParallelism is pinned (not inherited from the pool or an
+	// ambient SDB_SPILL_PARALLEL) so the suite always exercises the
+	// concurrent spill schedule.
 	e := NewWithOptions(storage.NewCatalog(), nil,
-		Options{Parallelism: 2, ChunkSize: 4, MemBudgetRows: budget, SpillDir: dir})
+		Options{Parallelism: 2, ChunkSize: 4, MemBudgetRows: budget, SpillDir: dir,
+			SpillParallelism: 2})
 	for _, tbl := range c.tables {
 		if _, err := e.ExecuteSQL(fmt.Sprintf("CREATE TABLE %s (%s)", tbl.name, tbl.schema)); err != nil {
 			return nil, err
@@ -329,7 +333,8 @@ func TestSpillDifferentialSecureAgg(t *testing.T) {
 
 		build := func(budget int) *Engine {
 			e := NewWithOptions(storage.NewCatalog(), s.N(),
-				Options{Parallelism: 2, ChunkSize: 4, MemBudgetRows: budget, SpillDir: t.TempDir()})
+				Options{Parallelism: 2, ChunkSize: 4, MemBudgetRows: budget,
+					SpillDir: t.TempDir(), SpillParallelism: 2})
 			if _, err := e.ExecuteSQL(`CREATE TABLE enc (id INT, grp INT, v INT SENSITIVE, m INT SENSITIVE)`); err != nil {
 				t.Fatal(err)
 			}

@@ -154,6 +154,8 @@ func (it *opIterator) Stats() ExecStats {
 		st.Spills = it.qs.sess.Spills()
 		st.SpilledRows = it.qs.sess.SpilledRows()
 		st.SpillFiles = it.qs.sess.Files()
+		st.SpillParallelism = int(it.qs.maxActive.Load())
+		st.PrefetchedBytes = it.qs.sess.PrefetchedBytes()
 	}
 	return st
 }

@@ -5,6 +5,12 @@
 // single-node analogue: the per-row modular arithmetic of the secure
 // operators is embarrassingly parallel, so row ranges are split into fixed
 // chunks and dispatched to GOMAXPROCS-bounded workers.
+//
+// The same pool shape schedules resident and spilled execution alike
+// (docs/architecture.md): row-range chunks for filters, projections,
+// probes and aggregation partitions, and chunk-size-1 task dispatch for
+// spilled work — Grace join partition pairs, aggregation partition
+// merges and run pre-merge groups (docs/parallel-execution.md).
 package parallel
 
 import (

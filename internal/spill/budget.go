@@ -1,7 +1,16 @@
 // Package spill provides the building blocks for memory-budgeted
 // spill-to-disk execution: per-query row budgets with reservation
-// accounting, temp-file sessions whose lifetime is tied to the query, and
-// a length-prefixed row codec shared by every spill file format.
+// accounting, temp-file sessions whose lifetime is tied to the query,
+// double-buffered prefetch readers that overlap run-file I/O with
+// compute, and a length-prefixed row codec shared by every spill file
+// format.
+//
+// In the stack (docs/architecture.md) this is the engine's degradation
+// layer: when a blocking operator of the query tree would cross the
+// query's resident-row budget, it moves state into a Session's temp
+// files and reads it back — possibly from several partition workers at
+// once, which is why Budget reservations are atomic and Session file
+// creation is mutex-guarded.
 //
 // The unit of accounting is the resident row — the same unit
 // engine.ExecStats reports — so a budget is directly comparable to the
@@ -20,9 +29,10 @@ import "sync/atomic"
 // look-ahead rows, pending operator output), so that the sampled peak —
 // reservations plus that slack — stays at or under the limit.
 type Budget struct {
-	limit int64 // hard budget; <= 0 means unlimited
-	soft  int64 // reservation threshold (limit - headroom)
-	used  atomic.Int64
+	limit   int64 // hard budget; <= 0 means unlimited
+	soft    int64 // reservation threshold (limit - headroom)
+	used    atomic.Int64
+	maxUsed atomic.Int64 // high-water mark of used, latched on reserve
 }
 
 // NewBudget builds a budget of limit resident rows, keeping headroom rows
@@ -73,6 +83,7 @@ func (b *Budget) TryReserve(n int) bool {
 			return false
 		}
 		if b.used.CompareAndSwap(cur, next) {
+			b.latchMax(next)
 			return true
 		}
 	}
@@ -86,7 +97,17 @@ func (b *Budget) ForceReserve(n int) {
 	if b.Unlimited() {
 		return
 	}
-	b.used.Add(int64(n))
+	b.latchMax(b.used.Add(int64(n)))
+}
+
+// latchMax records a new reservation high-water mark.
+func (b *Budget) latchMax(cur int64) {
+	for {
+		old := b.maxUsed.Load()
+		if cur <= old || b.maxUsed.CompareAndSwap(old, cur) {
+			return
+		}
+	}
 }
 
 // Release returns n reserved rows to the budget.
@@ -107,4 +128,17 @@ func (b *Budget) Used() int {
 		return 0
 	}
 	return int(b.used.Load())
+}
+
+// MaxUsed reports the reservation high-water mark over the budget's
+// lifetime. TryReserve keeps it at or under the soft threshold even
+// under concurrent reservations (the CAS admits or refuses atomically);
+// only ForceReserve — the minimum working set a spilled operator cannot
+// progress without — can push it past, by at most one such working set
+// per concurrent spill worker.
+func (b *Budget) MaxUsed() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.maxUsed.Load())
 }

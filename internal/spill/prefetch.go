@@ -1,0 +1,173 @@
+package spill
+
+import (
+	"io"
+	"sync"
+)
+
+// DefaultPrefetchBlock is the read-ahead granularity of PrefetchReader.
+// Large enough that one block amortises a disk round trip, small enough
+// that two in-flight blocks per open run stay negligible next to the
+// row budget.
+const DefaultPrefetchBlock = 64 * 1024
+
+// blockPool recycles default-size prefetch blocks across readers: a
+// spilled query rewinds hundreds of run files, and allocating (and
+// zeroing) two fresh blocks per rewind is measurable GC pressure.
+var blockPool = sync.Pool{
+	New: func() any { return make([]byte, DefaultPrefetchBlock) },
+}
+
+// PrefetchReader overlaps spill-file reads with compute: a fill goroutine
+// reads the next fixed-size block from the underlying reader while the
+// consumer decodes the current one (double buffering — exactly two
+// blocks circulate, one filling and one draining). Every run-file read
+// in a merge therefore costs at most one block of latency up front;
+// after that the disk works ahead of the merge loop.
+//
+// The reader is NOT safe for concurrent Read calls, matching the
+// one-reader-at-a-time contract of spill files. Close stops the fill
+// goroutine and joins it, so the caller may close the underlying file
+// descriptor immediately after Close returns.
+type PrefetchReader struct {
+	free    chan []byte // empty blocks waiting to be filled
+	filled  chan pfBlock
+	quit    chan struct{}
+	done    chan struct{}
+	closeMu sync.Once
+
+	cur    []byte // unread remainder of the current block
+	retire []byte // backing buffer of cur, returned to free when drained
+	err    error  // latched terminal error (io.EOF included)
+	pooled bool   // blocks came from (and return to) blockPool
+}
+
+// pfBlock is one filled block: the full backing buffer, the number of
+// valid bytes, and the error (if any) that ended the fill.
+type pfBlock struct {
+	buf []byte
+	n   int
+	err error
+}
+
+// NewPrefetchReader starts read-ahead over r with the given block size
+// (<= 0 means DefaultPrefetchBlock). onFill, when non-nil, is invoked
+// from the fill goroutine with the byte count of every block read ahead
+// — sessions use it to account PrefetchedBytes — so it must be
+// goroutine-safe.
+func NewPrefetchReader(r io.Reader, block int, onFill func(n int)) *PrefetchReader {
+	if block <= 0 {
+		block = DefaultPrefetchBlock
+	}
+	p := &PrefetchReader{
+		// Capacities match the two circulating buffers, so the fill
+		// goroutine's sends never block and Close cannot deadlock.
+		free:   make(chan []byte, 2),
+		filled: make(chan pfBlock, 2),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		pooled: block == DefaultPrefetchBlock,
+	}
+	for i := 0; i < 2; i++ {
+		if p.pooled {
+			p.free <- blockPool.Get().([]byte)
+		} else {
+			p.free <- make([]byte, block)
+		}
+	}
+	go p.fill(r, onFill)
+	return p
+}
+
+// fill is the prefetch goroutine: it fills free buffers ahead of the
+// consumer until the source errors (io.EOF included) or Close fires.
+func (p *PrefetchReader) fill(r io.Reader, onFill func(n int)) {
+	defer close(p.done)
+	for {
+		var buf []byte
+		select {
+		case buf = <-p.free:
+		case <-p.quit:
+			return
+		}
+		n, err := readBlock(r, buf)
+		if n > 0 && onFill != nil {
+			onFill(n)
+		}
+		// Buffered send: never blocks (see channel capacities above).
+		p.filled <- pfBlock{buf: buf, n: n, err: err}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// readBlock fills buf as far as the source allows; a partial block is
+// returned together with the error that cut it short.
+func readBlock(r io.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Read serves bytes from the current block, switching to the next
+// prefetched block when the current one drains. The terminal error (a
+// clean io.EOF or a read failure) surfaces only after every prefetched
+// byte has been consumed.
+func (p *PrefetchReader) Read(b []byte) (int, error) {
+	for len(p.cur) == 0 {
+		if p.retire != nil {
+			p.free <- p.retire // buffered: never blocks
+			p.retire = nil
+		}
+		if p.err != nil {
+			return 0, p.err
+		}
+		blk := <-p.filled
+		p.cur = blk.buf[:blk.n]
+		p.retire = blk.buf
+		if blk.err != nil {
+			p.err = blk.err
+		}
+	}
+	n := copy(b, p.cur)
+	p.cur = p.cur[n:]
+	return n, nil
+}
+
+// Close stops the fill goroutine and waits for it to exit. It is
+// idempotent and safe to call with reads outstanding in program order
+// (but not concurrently with Read). After Close, the underlying reader
+// is guaranteed untouched by this PrefetchReader.
+func (p *PrefetchReader) Close() {
+	p.closeMu.Do(func() {
+		close(p.quit)
+		<-p.done
+		if !p.pooled {
+			return
+		}
+		// The goroutine has exited, so every block is in a channel or in
+		// cur/retire; recycle them all.
+		for {
+			select {
+			case buf := <-p.free:
+				blockPool.Put(buf[:cap(buf)])
+			case blk := <-p.filled:
+				blockPool.Put(blk.buf[:cap(blk.buf)])
+			default:
+				if p.retire != nil {
+					blockPool.Put(p.retire[:cap(p.retire)])
+					p.retire = nil
+				}
+				p.cur = nil
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPrefetchRoundTrip pins the transparency contract: whatever the
+// underlying reader holds, a PrefetchReader serves byte-identically, for
+// payloads below, at and above the block size, ending in a clean io.EOF.
+func TestPrefetchRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, 7, 64, 65, 128, 1000} {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i * 131)
+		}
+		var prefetched atomic.Int64
+		p := NewPrefetchReader(bytes.NewReader(data), 64, func(n int) { prefetched.Add(int64(n)) })
+		got, err := io.ReadAll(p)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip diverged", size)
+		}
+		if _, err := p.Read(make([]byte, 1)); err != io.EOF {
+			t.Fatalf("size %d: read past EOF: %v", size, err)
+		}
+		p.Close()
+		if int(prefetched.Load()) != size {
+			t.Fatalf("size %d: accounted %d prefetched bytes", size, prefetched.Load())
+		}
+	}
+}
+
+// TestPrefetchCloseEarly joins the fill goroutine with data still
+// unread: Close must return (no deadlock) whether the consumer read
+// nothing, a little, or everything.
+func TestPrefetchCloseEarly(t *testing.T) {
+	data := make([]byte, 4096)
+	for _, readFirst := range []int{0, 1, 100, len(data)} {
+		p := NewPrefetchReader(bytes.NewReader(data), 32, nil)
+		if readFirst > 0 {
+			if _, err := io.ReadFull(p, make([]byte, readFirst)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+// failAfterReader yields n bytes and then a non-EOF error.
+type failAfterReader struct {
+	left int
+	err  error
+}
+
+func (r *failAfterReader) Read(b []byte) (int, error) {
+	if r.left == 0 {
+		return 0, r.err
+	}
+	if len(b) > r.left {
+		b = b[:r.left]
+	}
+	for i := range b {
+		b[i] = 0xAB
+	}
+	r.left -= len(b)
+	return len(b), nil
+}
+
+// TestPrefetchErrorAfterData pins error ordering: every byte read ahead
+// of the failure is served first, then the error surfaces and latches.
+func TestPrefetchErrorAfterData(t *testing.T) {
+	wantErr := errors.New("disk gone")
+	p := NewPrefetchReader(&failAfterReader{left: 100, err: wantErr}, 64, nil)
+	defer p.Close()
+	got, err := io.ReadAll(p)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got err %v, want %v", err, wantErr)
+	}
+	if len(got) != 100 {
+		t.Fatalf("served %d bytes before the error, want 100", len(got))
+	}
+	if _, err := p.Read(make([]byte, 1)); !errors.Is(err, wantErr) {
+		t.Fatalf("error did not latch: %v", err)
+	}
+}

@@ -22,9 +22,10 @@ type Session struct {
 	dir    string // created lazily; "" until the first file
 	closed bool
 
-	files       atomic.Int64
-	spilledRows atomic.Int64
-	spills      atomic.Int64
+	files           atomic.Int64
+	spilledRows     atomic.Int64
+	spills          atomic.Int64
+	prefetchedBytes atomic.Int64
 }
 
 // NewSession builds a session whose files live under parent (""
@@ -94,3 +95,11 @@ func (s *Session) SpilledRows() int { return int(s.spilledRows.Load()) }
 
 // Spills reports the number of spill events.
 func (s *Session) Spills() int { return int(s.spills.Load()) }
+
+// AddPrefetchedBytes records bytes a PrefetchReader loaded ahead of
+// consumption (stats only). Safe from prefetch goroutines.
+func (s *Session) AddPrefetchedBytes(n int) { s.prefetchedBytes.Add(int64(n)) }
+
+// PrefetchedBytes reports the total bytes read ahead by the session's
+// double-buffered run-file readers.
+func (s *Session) PrefetchedBytes() int64 { return s.prefetchedBytes.Load() }

@@ -14,6 +14,12 @@
 // on a v1 server as Op == OpExec, and a v1 Hello decodes on a v0 server as
 // an (erroring) single-shot — which the dialer detects and treats as
 // "legacy server", falling back to v0 framing.
+//
+// In the stack (docs/architecture.md) this layer sits between the
+// proxy's rewrite and the server's sessions: everything that crosses it
+// is already rewritten SQL, shares and tokens — never plaintext
+// sensitive data or key material. Frame layout and the session
+// lifecycle are documented in docs/api.md.
 package wire
 
 import (

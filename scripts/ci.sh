@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI gate: static checks, the full test suite, the race detector over
-# every package (the chunked parallel engine/proxy paths, the streaming
-# cursor pipeline and the bigmod fixed-base cache are exercised by
-# dedicated concurrency tests), and a short fuzz smoke over every fuzz
-# target (parser, proxy pipeline, wire encoding).
+# CI gate: docs link check, static checks, the full test suite, the race
+# detector over every package (the chunked parallel engine/proxy paths,
+# the streaming cursor pipeline, the parallel spilled-partition scheduler
+# and the bigmod fixed-base cache are exercised by dedicated concurrency
+# tests), a forced-tiny-budget spill regression pass, a race-detected
+# concurrent spill pass, and a short fuzz smoke over every fuzz target
+# (parser, proxy pipeline, wire encoding).
 #
 # Usage: scripts/ci.sh [-short]
 #   -short   skip the slow end-to-end suites (integration differential,
@@ -15,6 +17,27 @@ cd "$(dirname "$0")/.."
 SHORT_FLAG=""
 if [[ "${1:-}" == "-short" ]]; then
   SHORT_FLAG="-short"
+fi
+
+echo "== docs link check"
+# Every relative link in README.md and docs/*.md must resolve to a real
+# file (anchors and external URLs are skipped), so the architecture tour
+# and its cross-references cannot rot silently.
+BROKEN=0
+for f in README.md docs/*.md; do
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="$(dirname "$f")/${link%%#*}"
+    if [[ ! -e "$target" ]]; then
+      echo "broken link in $f: $link"
+      BROKEN=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+if [[ "$BROKEN" -ne 0 ]]; then
+  exit 1
 fi
 
 echo "== gofmt"
@@ -45,6 +68,16 @@ echo "== engine suite under a forced tiny spill budget"
 # assertions must keep passing. (The TPC-H differential additionally runs
 # a forced-spill execution mode inside the normal go test pass above.)
 SDB_MEM_BUDGET_ROWS=48 go test ${SHORT_FLAG} ./internal/engine
+
+echo "== concurrent spill suite under the race detector"
+# The spill differential and parallel-schedule suites again, with the
+# race detector on, a forced tiny budget, and spilled-work parallelism
+# forced to at least 2 workers: every Grace partition pair, aggregation
+# partition merge and run pre-merge runs concurrently against the shared
+# budget, so reservation accounting and run-file lifecycles are checked
+# under real interleavings, not just the serial schedule.
+SDB_MEM_BUDGET_ROWS=48 SDB_SPILL_PARALLEL=2 \
+  go test -race ${SHORT_FLAG} -run 'Spill' ./internal/engine
 
 echo "== bench smoke (peak-resident-rows + spill-budget assertions)"
 # One iteration of the streaming-memory benchmarks: BenchmarkStreamScan
