@@ -27,6 +27,7 @@ func main() {
 	memBudget := flag.Int("mem-budget", 0, "per-query resident-row budget; blocking operators spill to disk past it (0 = SDB_MEM_BUDGET_ROWS or unlimited, <0 = unlimited)")
 	spillDir := flag.String("spill-dir", "", "directory for spill temp files (default SDB_SPILL_DIR or the system temp dir)")
 	spillPar := flag.Int("spill-parallel", 0, "concurrent spilled-partition tasks per query (0 = SDB_SPILL_PARALLEL or -parallel, 1 = serial spill schedule)")
+	planner := flag.String("planner", "", "planner pass mode: on, off, or empty for the SDB_PLANNER default (on when unset)")
 	flag.Parse()
 
 	if *public == "" {
@@ -44,7 +45,7 @@ func main() {
 	srv := server.NewWithOptions(params.N, engine.Options{
 		Parallelism: *par, ChunkSize: *chunk,
 		MemBudgetRows: *memBudget, SpillDir: *spillDir,
-		SpillParallelism: *spillPar,
+		SpillParallelism: *spillPar, Planner: *planner,
 	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {

@@ -4,19 +4,27 @@
 //
 // Two DSN forms are supported:
 //
-//	mem://?bits=512&parallel=0&chunk=0&mem_budget=0
+//	mem://?bits=512&parallel=0&chunk=0&mem_budget=0&planner=&plan_cache=0
 //	    An embedded deployment: fresh scheme secrets and an in-process
 //	    service-provider engine. Handy for tests and the quickstart.
 //	    mem_budget caps each query's resident rows in the embedded
 //	    engine — blocking operators (join builds, aggregation tables,
 //	    sort sinks) spill to temp files instead of crossing it (0 =
-//	    engine default, negative = unlimited).
+//	    engine default, negative = unlimited). planner selects the
+//	    engine's planning pass mode ("off" disables pushdown, comma-join
+//	    conversion and build-side selection; empty = SDB_PLANNER default).
 //
-//	tcp://host:port?secret=do.key&parallel=0&chunk=0
+//	tcp://host:port?secret=do.key&parallel=0&chunk=0&plan_cache=0
 //	    Connect to a remote sdb-server. secret names the data-owner key
 //	    file written by `sdb keygen`; it never leaves the client. The
 //	    memory budget of a remote deployment is the server's -mem-budget
-//	    flag — execution memory lives there, not in the client.
+//	    flag — execution memory lives there, not in the client; the
+//	    planner mode is its -planner flag.
+//
+// plan_cache bounds the proxy's rewrite/token cache in statements (0 =
+// default 256, negative = disabled); repeated statements then skip
+// re-rewriting and token re-derivation until a key rotation or catalog
+// change invalidates the entry.
 //
 // All connections of one sql.DB share a single proxy (and therefore one
 // key store): the proxy is the data owner's trust boundary, so pooled
@@ -134,8 +142,9 @@ func (c *Connector) proxy() (*proxy.Proxy, error) {
 	}
 	q := c.url.Query()
 	opts := proxy.Options{
-		Parallelism: atoiDefault(q.Get("parallel"), 0),
-		ChunkSize:   atoiDefault(q.Get("chunk"), 0),
+		Parallelism:   atoiDefault(q.Get("parallel"), 0),
+		ChunkSize:     atoiDefault(q.Get("chunk"), 0),
+		PlanCacheSize: atoiDefault(q.Get("plan_cache"), 0),
 	}
 	switch c.url.Scheme {
 	case "mem":
@@ -148,6 +157,7 @@ func (c *Connector) proxy() (*proxy.Proxy, error) {
 			engine.Options{
 				Parallelism: opts.Parallelism, ChunkSize: opts.ChunkSize,
 				MemBudgetRows: atoiDefault(q.Get("mem_budget"), 0),
+				Planner:       q.Get("planner"),
 			})
 		p, err := proxy.NewWithOptions(secret, eng, opts)
 		if err != nil {

@@ -53,8 +53,11 @@ type hashAggOp struct {
 	keyExprs []compiledExpr
 	specs    []aggSpec
 	groupBy  bool
-	batch    int
-	qs       *querySpill
+	// groupHint pre-sizes the per-partition state tables (planner group
+	// estimate; 0 = unknown).
+	groupHint int
+	batch     int
+	qs        *querySpill
 
 	ctx     context.Context
 	win     rowWindow
@@ -140,7 +143,7 @@ func (op *hashAggOp) drain() error {
 		err = parallel.New(nparts, chunk).ForEachChunk(len(batch), func(p, lo, hi int) error {
 			tbl := partials[p]
 			if tbl == nil {
-				tbl = make(map[string]*aggGroup)
+				tbl = make(map[string]*aggGroup, op.groupHint/nparts)
 				partials[p] = tbl
 			}
 			for i := lo; i < hi; i++ {
@@ -668,8 +671,8 @@ func (op *hashAggOp) resident() int {
 // aggregate calls, and returns (1) the operator, whose output columns are
 // the group keys then the aggregate results, and (2) a rewritten Select
 // whose expressions reference those columns instead of aggregate calls.
-func (e *Engine) planAggregate(child operator, s *sqlparser.Select, aggs []*sqlparser.FuncCall, qs *querySpill) (operator, *sqlparser.Select, error) {
-	rel := &relation{cols: child.columns()}
+func (e *Engine) planAggregate(child planNode, s *sqlparser.Select, aggs []*sqlparser.FuncCall, qs *querySpill) (operator, *sqlparser.Select, error) {
+	rel := &relation{cols: child.op.columns()}
 	ctx := e.evalCtx()
 
 	keyExprs := make([]compiledExpr, len(s.GroupBy))
@@ -699,11 +702,14 @@ func (e *Engine) planAggregate(child operator, s *sqlparser.Select, aggs []*sqlp
 	}
 
 	op := &hashAggOp{
-		e: e, child: child, schema: schema,
+		e: e, child: child.op, schema: schema,
 		keyExprs: keyExprs, specs: specs,
 		groupBy: len(s.GroupBy) > 0,
 		batch:   e.batchRows(),
 		qs:      qs,
+	}
+	if !e.plannerOff {
+		op.groupHint = estGroups(child.est)
 	}
 
 	// Rewrite the Select to reference the aggregated columns.

@@ -56,6 +56,10 @@ const (
 	// SpillParallelEnv is the default spilled-work parallelism applied
 	// when Options.SpillParallelism is zero.
 	SpillParallelEnv = "SDB_SPILL_PARALLEL"
+	// PlannerEnv is the default planner mode applied when Options.Planner
+	// is empty: "off" (also "0"/"false") disables the planning pass,
+	// anything else — including unset — leaves it on.
+	PlannerEnv = "SDB_PLANNER"
 )
 
 // Engine executes statements against a catalog.
@@ -75,6 +79,10 @@ type Engine struct {
 	// (Grace partition pairs, aggregation partition merges, run
 	// pre-merge groups); resolved from Options.SpillParallelism.
 	spillWorkers int
+	// plannerOff disables the planning pass (predicate pushdown,
+	// comma-join → hash-join conversion, build-side selection, hash
+	// pre-sizing), reverting to the naive AST-shaped operator tree.
+	plannerOff bool
 	// execMu serializes writers (CREATE/INSERT/UPDATE) against readers.
 	// SELECTs share the read lock and hold it only while planning: every
 	// scanOp snapshots its table's column-slice headers under the lock,
@@ -116,6 +124,14 @@ type Options struct {
 	// bound (spilled and resident execution share the same parallelism);
 	// 1 forces the serial spill schedule.
 	SpillParallelism int
+	// Planner selects the planning pass mode: "" means the SDB_PLANNER
+	// environment default (on when unset), "on" forces the pass
+	// regardless of environment, and "off" disables it — SELECTs then
+	// compile to the naive AST-shaped tree (comma joins stay nested-loop
+	// cross products, WHERE stays one post-join filter, hash maps stay
+	// unsized), which is the reference side of the planner differential
+	// suite.
+	Planner string
 }
 
 // New builds an engine over the catalog with default (GOMAXPROCS-wide)
@@ -170,6 +186,21 @@ func (e *Engine) applyOptions(opts Options) {
 	if e.spillWorkers <= 0 {
 		e.spillWorkers = e.pool.Workers()
 	}
+	mode := opts.Planner
+	if mode == "" {
+		mode = os.Getenv(PlannerEnv)
+	}
+	e.plannerOff = plannerDisabled(mode)
+}
+
+// plannerDisabled interprets a planner mode string ("off", "0", "false",
+// "no" and "disabled" all turn the pass off; everything else leaves it on).
+func plannerDisabled(mode string) bool {
+	switch strings.ToLower(strings.TrimSpace(mode)) {
+	case "off", "0", "false", "no", "disabled":
+		return true
+	}
+	return false
 }
 
 // Catalog exposes the underlying catalog (used by upload paths and tests).

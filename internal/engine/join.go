@@ -65,8 +65,15 @@ type hashJoinOp struct {
 	leftKeys    []compiledExpr
 	rightKeys   []compiledExpr
 	residual    compiledExpr // non-equi ON conjuncts over the joined row; may be nil
-	batch       int
-	qs          *querySpill
+	// flip marks a planner build-side swap: left/right still mean
+	// probe/build internally, but the declared schema (and every emitted
+	// row) lays out the build columns first — see joinRow.
+	flip bool
+	// buildHint pre-sizes the build-side hash partitions (planner
+	// estimate; 0 = unknown).
+	buildHint int
+	batch     int
+	qs        *querySpill
 
 	ctx       context.Context
 	parts     []map[string][]types.Row
@@ -86,6 +93,16 @@ type hashJoinOp struct {
 }
 
 func (op *hashJoinOp) columns() []relCol { return op.schema }
+
+// joinRow lays out one output row against the declared schema: probe ++
+// build normally, build ++ probe when the planner flipped the children to
+// build on the smaller input.
+func (op *hashJoinOp) joinRow(probe, build types.Row) types.Row {
+	if op.flip {
+		return concatRows(build, probe)
+	}
+	return concatRows(probe, build)
+}
 
 func (op *hashJoinOp) open(ctx context.Context) error {
 	op.ctx = ctx
@@ -176,7 +193,7 @@ func (op *hashJoinOp) build() error {
 	op.parts = make([]map[string][]types.Row, nparts)
 	err := parallel.New(nparts, 1).ForEachChunk(nparts, func(_, lo, hi int) error {
 		for p := lo; p < hi; p++ {
-			part := make(map[string][]types.Row)
+			part := make(map[string][]types.Row, op.buildHint/nparts)
 			for i, k := range keys {
 				if k.part == p {
 					part[k.key] = append(part[k.key], rows[i])
@@ -238,7 +255,7 @@ func (op *hashJoinOp) probe(batch []types.Row) error {
 				continue
 			}
 			for _, rb := range op.parts[int(hashKey(key)%uint32(nparts))][key] {
-				row := concatRows(batch[i], rb)
+				row := op.joinRow(batch[i], rb)
 				if op.residual != nil {
 					ok, err := op.residual(row)
 					if err != nil {
@@ -525,7 +542,7 @@ func (op *hashJoinOp) probeTable(table map[string][]taggedRow, probe *runFile) (
 			return fail(err)
 		}
 		for _, bt := range table[key] {
-			row := concatRows(tr.row, bt.row)
+			row := op.joinRow(tr.row, bt.row)
 			if op.residual != nil {
 				ok, err := op.residual(row)
 				if err != nil {
@@ -775,16 +792,18 @@ func (op *nestedLoopJoinOp) resident() int {
 }
 
 // planJoin builds the join operator for left JOIN right ON on. Equality
-// conjuncts with one side bound to each input select a hash join (build on
-// the right, probe on the left); remaining conjuncts become a residual
-// predicate over the joined row. Without any usable equality the join falls
-// back to a nested loop over the full condition.
-func (e *Engine) planJoin(left, right operator, on sqlparser.Expr, qs *querySpill) (operator, error) {
-	schema := append(append([]relCol{}, left.columns()...), right.columns()...)
+// conjuncts with one side bound to each input select a hash join;
+// remaining conjuncts become a residual predicate over the joined row.
+// Without any usable equality the join falls back to a nested loop over
+// the full condition. Which side a hash join builds on (and how its hash
+// partitions are pre-sized) is the planner's size-based call in
+// buildJoinOp; with the planner off it is always the right input.
+func (e *Engine) planJoin(left, right planNode, on sqlparser.Expr, qs *querySpill) (planNode, error) {
+	schema := append(append([]relCol{}, left.op.columns()...), right.op.columns()...)
 	joined := &relation{cols: schema}
 	ctx := e.evalCtx()
-	lrel := &relation{cols: left.columns()}
-	rrel := &relation{cols: right.columns()}
+	lrel := &relation{cols: left.op.columns()}
+	rrel := &relation{cols: right.op.columns()}
 
 	eqs, rest := splitConjuncts(on)
 	var leftKeys, rightKeys []compiledExpr
@@ -818,22 +837,15 @@ func (e *Engine) planJoin(left, right operator, on sqlparser.Expr, qs *querySpil
 		if len(residual) > 0 {
 			var err error
 			if resid, err = compile(conjoin(residual), joined, ctx); err != nil {
-				return nil, err
+				return planNode{}, err
 			}
 		}
-		return &hashJoinOp{
-			e: e, left: left, right: right, schema: schema,
-			leftKeys: leftKeys, rightKeys: rightKeys, residual: resid,
-			batch: e.batchRows(), qs: qs,
-		}, nil
+		return e.buildJoinOp(left, right, leftKeys, rightKeys, resid, qs), nil
 	}
 
 	cond, err := compile(on, joined, ctx)
 	if err != nil {
-		return nil, err
+		return planNode{}, err
 	}
-	return &nestedLoopJoinOp{
-		e: e, left: left, right: right, schema: schema, cond: cond,
-		batch: e.batchRows(), qs: qs,
-	}, nil
+	return e.buildJoinOp(left, right, nil, nil, cond, qs), nil
 }

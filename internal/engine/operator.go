@@ -341,15 +341,18 @@ func (op *projectOp) resident() int { return op.child.resident() }
 type distinctOp struct {
 	e     *Engine
 	child operator
-	seen  map[string]bool
-	ctx   context.Context
+	// hint pre-sizes the key set (planner distinct-row estimate; 0 =
+	// unknown).
+	hint int
+	seen map[string]bool
+	ctx  context.Context
 }
 
 func (op *distinctOp) columns() []relCol { return op.child.columns() }
 
 func (op *distinctOp) open(ctx context.Context) error {
 	op.ctx = ctx
-	op.seen = make(map[string]bool)
+	op.seen = make(map[string]bool, op.hint)
 	return op.child.open(ctx)
 }
 

@@ -12,6 +12,9 @@ import (
 type queryPlan struct {
 	root operator
 	cols []ResultColumn
+	// est is the planner's output-cardinality estimate, consumed when the
+	// plan is a FROM subquery of an enclosing SELECT.
+	est int
 	// qs is the query's spill context: the shared memory budget and the
 	// temp-file session every blocking operator in the tree spills into.
 	// Subquery subtrees share their parent's; whoever executes the plan
@@ -24,40 +27,54 @@ type queryPlan struct {
 //	scan/join → filter(WHERE) → hashAgg → filter(HAVING) → project
 //	  → topK|sort(ORDER BY) → distinct → limit
 //
-// Planning snapshots every scanned table, so the caller must hold the
-// engine's read lock; execution (open/next on the returned tree) is then
-// lock-free over immutable snapshots. The stage order after the projection
-// matches the legacy materialized pipeline (sort, then dedup, then limit).
+// Unless the planner pass is disabled (Options.Planner / SDB_PLANNER), the
+// FROM and WHERE clauses plan as one unit: single-table WHERE conjuncts
+// push below the joins, comma-join equality conjuncts become hash-join
+// keys, and row-count estimates pick build sides and pre-size hash state
+// (see planner.go). Planning snapshots every scanned table, so the caller
+// must hold the engine's read lock; execution (open/next on the returned
+// tree) is then lock-free over immutable snapshots. The stage order after
+// the projection matches the legacy materialized pipeline (sort, then
+// dedup, then limit).
 func (e *Engine) planSelect(s *sqlparser.Select, qs *querySpill) (*queryPlan, error) {
-	src, err := e.planFrom(s.From, qs)
-	if err != nil {
-		return nil, err
-	}
 	ctx := e.evalCtx()
 
-	// WHERE
-	if s.Where != nil {
-		pred, err := compile(s.Where, &relation{cols: src.columns()}, ctx)
-		if err != nil {
+	// FROM + WHERE
+	var src planNode
+	var err error
+	if !e.plannerOff && s.Where != nil && len(s.From) > 0 {
+		if src, err = e.planFromWhere(s.From, s.Where, qs); err != nil {
 			return nil, err
 		}
-		src = &filterOp{e: e, child: src, pred: pred}
+	} else {
+		if src, err = e.planFrom(s.From, qs); err != nil {
+			return nil, err
+		}
+		if s.Where != nil {
+			pred, err := compile(s.Where, &relation{cols: src.op.columns()}, ctx)
+			if err != nil {
+				return nil, err
+			}
+			src = planNode{op: &filterOp{e: e, child: src.op, pred: pred}, est: estFilter(src.est)}
+		}
 	}
 
 	// Aggregation: the select is rewritten so later stages reference the
 	// aggregate output columns (_gN/_aN) instead of aggregate calls.
 	aggs := collectAggregates(s)
 	if len(aggs) > 0 || len(s.GroupBy) > 0 {
-		src, s, err = e.planAggregate(src, s, aggs, qs)
+		var aggOp operator
+		aggOp, s, err = e.planAggregate(src, s, aggs, qs)
 		if err != nil {
 			return nil, err
 		}
+		src = planNode{op: aggOp, est: estGroups(src.est)}
 		if s.Having != nil {
-			pred, err := compile(s.Having, &relation{cols: src.columns()}, ctx)
+			pred, err := compile(s.Having, &relation{cols: src.op.columns()}, ctx)
 			if err != nil {
 				return nil, err
 			}
-			src = &filterOp{e: e, child: src, pred: pred}
+			src = planNode{op: &filterOp{e: e, child: src.op, pred: pred}, est: estFilter(src.est)}
 		}
 	} else if s.Having != nil {
 		return nil, fmt.Errorf("engine: HAVING without aggregation")
@@ -65,7 +82,7 @@ func (e *Engine) planSelect(s *sqlparser.Select, qs *querySpill) (*queryPlan, er
 
 	// Projection, with hidden ORDER BY key columns appended when the keys
 	// are not addressable in the visible output.
-	inRel := &relation{cols: src.columns()}
+	inRel := &relation{cols: src.op.columns()}
 	outCols, outExprs, err := e.projection(s, inRel)
 	if err != nil {
 		return nil, err
@@ -85,7 +102,8 @@ func (e *Engine) planSelect(s *sqlparser.Select, qs *querySpill) (*queryPlan, er
 	for i := len(outCols); i < len(exprs); i++ {
 		projSchema[i] = relCol{name: fmt.Sprintf("_ord%d", i-len(outCols)), hidden: true}
 	}
-	var root operator = &projectOp{e: e, child: src, exprs: exprs, schema: projSchema}
+	est := src.est
+	var root operator = &projectOp{e: e, child: src.op, exprs: exprs, schema: projSchema}
 
 	// ORDER BY: a bounded top-K heap when LIMIT caps the result (and
 	// DISTINCT does not need the full sorted set first), else a sort sink.
@@ -99,73 +117,81 @@ func (e *Engine) planSelect(s *sqlparser.Select, qs *querySpill) (*queryPlan, er
 
 	// DISTINCT, then LIMIT (legacy stage order).
 	if s.Distinct {
-		root = &distinctOp{e: e, child: root}
+		d := &distinctOp{e: e, child: root}
+		if !e.plannerOff {
+			d.hint = estGroups(est)
+		}
+		root = d
+		est = estGroups(est)
 	}
 	if s.Limit != nil {
 		root = &limitOp{child: root, remaining: *s.Limit}
+		est = estLimited(est, s.Limit)
 	}
-	return &queryPlan{root: root, cols: outCols, qs: qs}, nil
+	return &queryPlan{root: root, cols: outCols, est: est, qs: qs}, nil
 }
 
 // planFrom assembles the FROM clause into one operator (comma-separated
 // refs cross-join left-deep; JOIN…ON plans hash or nested-loop joins).
-func (e *Engine) planFrom(refs []sqlparser.TableRef, qs *querySpill) (operator, error) {
+// WHERE-driven pushdown and comma-join conversion live in planFromWhere;
+// this path serves WHERE-less selects and the planner-off mode.
+func (e *Engine) planFrom(refs []sqlparser.TableRef, qs *querySpill) (planNode, error) {
 	if len(refs) == 0 {
 		// SELECT without FROM: a single empty row.
-		return &valuesOp{rows: []types.Row{{}}}, nil
+		return planNode{op: &valuesOp{rows: []types.Row{{}}}, est: 1}, nil
 	}
-	var src operator
-	for _, ref := range refs {
+	var src planNode
+	for i, ref := range refs {
 		r, err := e.planRef(ref, qs)
 		if err != nil {
-			return nil, err
+			return planNode{}, err
 		}
-		if src == nil {
+		if i == 0 {
 			src = r
 			continue
 		}
-		schema := append(append([]relCol{}, src.columns()...), r.columns()...)
-		src = &nestedLoopJoinOp{e: e, left: src, right: r, schema: schema, batch: e.batchRows(), qs: qs}
+		src = e.buildJoinOp(src, r, nil, nil, nil, qs)
 	}
 	return src, nil
 }
 
-func (e *Engine) planRef(ref sqlparser.TableRef, qs *querySpill) (operator, error) {
+func (e *Engine) planRef(ref sqlparser.TableRef, qs *querySpill) (planNode, error) {
 	switch r := ref.(type) {
 	case sqlparser.TableName:
 		t, err := e.catalog.Get(r.Name)
 		if err != nil {
-			return nil, err
+			return planNode{}, err
 		}
 		alias := r.Alias
 		if alias == "" {
 			alias = r.Name
 		}
-		return newScanOp(t, alias, e.batchRows()), nil
+		op := newScanOp(t, alias, e.batchRows())
+		return planNode{op: op, est: op.nrows}, nil
 
 	case *sqlparser.SubqueryRef:
 		sub, err := e.planSelect(r.Sel, qs)
 		if err != nil {
-			return nil, err
+			return planNode{}, err
 		}
 		schema := make([]relCol, len(sub.cols))
 		for i, c := range sub.cols {
 			schema[i] = relCol{qual: lowered(r.Alias), name: lowered(c.Name), kind: c.Kind}
 		}
-		return &renameOp{child: sub.root, schema: schema}, nil
+		return planNode{op: &renameOp{child: sub.root, schema: schema}, est: sub.est}, nil
 
 	case *sqlparser.JoinRef:
 		left, err := e.planRef(r.Left, qs)
 		if err != nil {
-			return nil, err
+			return planNode{}, err
 		}
 		right, err := e.planRef(r.Right, qs)
 		if err != nil {
-			return nil, err
+			return planNode{}, err
 		}
 		return e.planJoin(left, right, r.On, qs)
 
 	default:
-		return nil, fmt.Errorf("engine: unsupported FROM item %T", ref)
+		return planNode{}, fmt.Errorf("engine: unsupported FROM item %T", ref)
 	}
 }

@@ -169,7 +169,11 @@ func TestTPCHSecureMatchesPlaintext(t *testing.T) {
 
 // TestRotationPreservesQueryAnswers rotates every sensitive lineitem
 // column key (the server-side re-keying path, chunk-parallel in the
-// engine) and re-checks a query against plaintext afterwards.
+// engine) and re-checks a query against plaintext afterwards. The query
+// runs through a deliberately warm plan cache on both sides of the
+// rotation: the pre-rotation rewrite (with now-stale tokens) is sitting
+// in the cache when the post-rotation execution arrives, so a missed
+// invalidation would decrypt re-keyed shares into garbage here.
 func TestRotationPreservesQueryAnswers(t *testing.T) {
 	f := setup(t)
 	const sql = `SELECT l_returnflag, SUM(l_extendedprice), COUNT(*) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
@@ -177,6 +181,16 @@ func TestRotationPreservesQueryAnswers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Warm the cache: run the statement twice pre-rotation so the second
+	// execution is served from the cache (when the cache is enabled).
+	for i := 0; i < 2; i++ {
+		got, err := f.sdb.Exec(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualResults(t, "pre-rotation", sql, got, want)
+	}
+	_, missesBefore := f.sdb.PlanCacheStats()
 	for _, col := range []string{"l_quantity", "l_extendedprice", "l_discount", "l_tax"} {
 		if _, err := f.sdb.RotateColumn("lineitem", col); err != nil {
 			t.Fatalf("rotate %s: %v", col, err)
@@ -190,4 +204,7 @@ func TestRotationPreservesQueryAnswers(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireEqualResults(t, "post-rotation", sql, got, want)
+	if hits, misses := f.sdb.PlanCacheStats(); hits > 0 && misses == missesBefore {
+		t.Fatal("post-rotation execution was served from the stale plan cache")
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,13 @@ type Proxy struct {
 	// decryption keys at rewrite time; a generation mismatch makes them
 	// re-prepare instead of decrypting re-keyed shares with stale keys.
 	rotGen atomic.Uint64
+	// catGen counts catalog changes (CREATE registers keys, INSERT grows
+	// tables); cached plans are stamped with it so DDL and uploads
+	// invalidate them.
+	catGen atomic.Uint64
+	// cache memoises rewritten SQL + decryption plans per canonical
+	// statement (nil = disabled); see plancache.go.
+	cache *planCache
 }
 
 // Options tune the proxy's chunked parallel encryption/decryption and its
@@ -58,6 +66,12 @@ type Options struct {
 	// executor supports streaming. Used by differential tests and as an
 	// operational safety valve.
 	DisableStream bool
+	// PlanCacheSize bounds the rewrite/token cache (plancache.go): 0
+	// means the default (256 statements) unless the SDB_PLANNER
+	// environment knob disables the planner stack, negative disables the
+	// cache outright. Every cached entry is invalidated by key rotation
+	// and by catalog change.
+	PlanCacheSize int
 }
 
 // rowIDBits bounds row ids to [1, 2^rowIDBits); the SIES modulus is
@@ -88,14 +102,35 @@ func NewWithOptions(secret *secure.Secret, exec Executor, opts Options) (*Proxy,
 		exec:   exec,
 		pool:   parallel.New(opts.Parallelism, opts.ChunkSize),
 		opts:   opts,
+		cache:  buildPlanCache(opts.PlanCacheSize),
 	}, nil
 }
 
+// buildPlanCache resolves the cache size knob: negative disables, zero
+// takes the default unless SDB_PLANNER turns the planner stack off for the
+// whole process (the differential suites rely on that to run the naive
+// path end to end).
+func buildPlanCache(size int) *planCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		switch strings.ToLower(strings.TrimSpace(os.Getenv(engine.PlannerEnv))) {
+		case "off", "0", "false", "no", "disabled":
+			return nil
+		}
+		size = defaultPlanCacheSize
+	}
+	return newPlanCache(size)
+}
+
 // SetOptions replaces the execution options. It must not be called
-// concurrently with running statements or open cursors.
+// concurrently with running statements or open cursors. The plan cache is
+// rebuilt (and thereby flushed) at the new size.
 func (p *Proxy) SetOptions(opts Options) {
 	p.pool = parallel.New(opts.Parallelism, opts.ChunkSize)
 	p.opts = opts
+	p.cache = buildPlanCache(opts.PlanCacheSize)
 }
 
 // Secret exposes the scheme secret (examples and tests need the params).
@@ -186,6 +221,7 @@ func (p *Proxy) execCreate(ctx context.Context, s *sqlparser.CreateTable, st Sta
 	if err := p.store.Put(s.Name, meta); err != nil {
 		return nil, err
 	}
+	p.catGen.Add(1)
 	st.Rewrite = time.Since(t0)
 
 	t1 := time.Now()
@@ -245,6 +281,7 @@ func (p *Proxy) execInsert(ctx context.Context, s *sqlparser.Insert, st Stats) (
 	if _, err := p.exec.ExecuteSQL(out.String()); err != nil {
 		return nil, err
 	}
+	p.catGen.Add(1)
 	st.Server = time.Since(t1)
 	st.RewrittenSQL = out.String()
 	return &Result{Stats: st}, nil

@@ -110,21 +110,31 @@ func (p *Proxy) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
 // prepareSelect (re)derives the rewritten SQL, decryption plan and
 // server-side statement from the current key-store state, recording the
 // rotation generation it captured. It runs at Prepare time and again
-// whenever a key rotation has invalidated the captured tokens.
+// whenever a key rotation has invalidated the captured tokens. The
+// rewrite + token derivation is served from the proxy's plan cache when a
+// statement with the same canonical SQL was already derived under the
+// current rotation and catalog generations (plancache.go).
 func (s *Stmt) prepareSelect() error {
 	t1 := time.Now()
 	gen := s.p.rotGen.Load()
-	rw := &rewriter{p: s.p}
-	rewritten, plan, err := rw.rewriteSelect(s.sel, false)
-	if err != nil {
-		return err
+	catGen := s.p.catGen.Load()
+	key := s.sel.String()
+	rewritten, plan, ok := s.p.planCacheLookup(key, gen, catGen)
+	if !ok {
+		rw := &rewriter{p: s.p}
+		rws, pl, err := rw.rewriteSelect(s.sel, false)
+		if err != nil {
+			return err
+		}
+		rewritten, plan = rws.String(), pl
+		s.p.planCacheStore(key, rewritten, plan, gen, catGen)
 	}
 	s.mu.Lock()
 	if s.remote != nil {
 		s.remote.Close()
 		s.remote = nil
 	}
-	s.rewritten = rewritten.String()
+	s.rewritten = rewritten
 	s.plan = plan
 	s.gen = gen
 	s.mu.Unlock()

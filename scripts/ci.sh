@@ -3,9 +3,10 @@
 # detector over every package (the chunked parallel engine/proxy paths,
 # the streaming cursor pipeline, the parallel spilled-partition scheduler
 # and the bigmod fixed-base cache are exercised by dedicated concurrency
-# tests), a forced-tiny-budget spill regression pass, a race-detected
-# concurrent spill pass, and a short fuzz smoke over every fuzz target
-# (parser, proxy pipeline, wire encoding).
+# tests), a forced-tiny-budget spill regression pass, a planner-off
+# differential pass, a race-detected concurrent spill pass, and a short
+# fuzz smoke over every fuzz target (parser, proxy pipeline, wire
+# encoding).
 #
 # Usage: scripts/ci.sh [-short]
 #   -short   skip the slow end-to-end suites (integration differential,
@@ -69,6 +70,16 @@ echo "== engine suite under a forced tiny spill budget"
 # a forced-spill execution mode inside the normal go test pass above.)
 SDB_MEM_BUDGET_ROWS=48 go test ${SHORT_FLAG} ./internal/engine
 
+echo "== engine suite with the planner pass disabled"
+# Re-run the engine suite with SDB_PLANNER=off: every query falls back to
+# the naive AST-shaped tree (nested-loop comma joins, top-level WHERE
+# filter, no pushdown, no build-side swap, no map pre-sizing). The planner
+# is a pure plan-shape rewrite — results and row order must be identical
+# — so every engine test doubles as a planner differential. Tests that
+# assert planner-produced plan shapes pin Options.Planner explicitly and
+# are unaffected by the env override.
+SDB_PLANNER=off go test ${SHORT_FLAG} ./internal/engine
+
 echo "== concurrent spill suite under the race detector"
 # The spill differential and parallel-schedule suites again, with the
 # race detector on, a forced tiny budget, and spilled-work parallelism
@@ -86,8 +97,9 @@ echo "== bench smoke (peak-resident-rows + spill-budget assertions)"
 # build-side + aggregation-state + O(batch) resident rows unbudgeted
 # (spill-off) and within the memory budget when forced to spill
 # (spill-on). All b.Fatal on violation, so this is a correctness gate,
-# not a measurement.
-go test -run=NONE -bench=StreamScan -benchtime=1x .
+# not a measurement. BenchmarkPlanCache/warm additionally b.Fatals if the
+# proxy's plan cache records zero hits for a repeated statement.
+go test -run=NONE -bench='StreamScan|PlanCache' -benchtime=1x .
 
 if [[ -z "${SHORT_FLAG}" ]]; then
   echo "== fuzz smoke (10s per target)"
