@@ -6,6 +6,12 @@
 //
 //	sdb keygen -secret do.key -public sp.pub     # at the data owner
 //	sdb-server -listen :7070 -public sp.pub      # at the service provider
+//
+// With -data-dir (or SDB_DATA_DIR) the server is durable: every write
+// statement is logged to a write-ahead log before it is applied, periodic
+// checkpoints snapshot the columns, and a restart recovers the catalog
+// before the listener comes up. SIGTERM/SIGINT trigger a graceful
+// shutdown: a final checkpoint, a log sync, then exit.
 package main
 
 import (
@@ -13,10 +19,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sdb/internal/engine"
 	"sdb/internal/secure"
 	"sdb/internal/server"
+	"sdb/internal/storage"
+	"sdb/internal/wal"
 )
 
 func main() {
@@ -28,6 +39,9 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for spill temp files (default SDB_SPILL_DIR or the system temp dir)")
 	spillPar := flag.Int("spill-parallel", 0, "concurrent spilled-partition tasks per query (0 = SDB_SPILL_PARALLEL or -parallel, 1 = serial spill schedule)")
 	planner := flag.String("planner", "", "planner pass mode: on, off, or empty for the SDB_PLANNER default (on when unset)")
+	dataDir := flag.String("data-dir", os.Getenv("SDB_DATA_DIR"), "durable data directory: WAL + checkpoints; recovery runs before serving (default SDB_DATA_DIR; empty = in-memory only)")
+	checkpointEvery := flag.Int("checkpoint-every", 1024, "WAL records between automatic checkpoints (0 = only at shutdown; needs -data-dir)")
+	fsync := flag.String("fsync", wal.FsyncAlways, "WAL fsync policy: always (per statement), interval (background flusher), never")
 	flag.Parse()
 
 	if *public == "" {
@@ -42,17 +56,66 @@ func main() {
 		log.Fatalf("sdb-server: %v", err)
 	}
 
-	srv := server.NewWithOptions(params.N, engine.Options{
+	opts := engine.Options{
 		Parallelism: *par, ChunkSize: *chunk,
 		MemBudgetRows: *memBudget, SpillDir: *spillDir,
 		SpillParallelism: *spillPar, Planner: *planner,
-	})
+	}
+
+	var srv *server.Server
+	var store *wal.Store
+	var eng *engine.Engine
+	if *dataDir != "" {
+		catalog := storage.NewCatalog()
+		t0 := time.Now()
+		store, err = wal.Open(*dataDir, catalog, wal.Options{
+			Fsync:           *fsync,
+			CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			log.Fatalf("sdb-server: %v", err)
+		}
+		info := store.RecoveryInfo()
+		fmt.Printf("sdb-server: recovered %d tables / %d rows from %s (LSN %d) in %s\n",
+			info.Tables, info.Rows, *dataDir, info.LSN, time.Since(t0).Round(time.Millisecond))
+		eng = engine.NewWithDurability(catalog, params.N, opts, store)
+		srv = server.NewWithEngine(eng)
+	} else {
+		srv = server.NewWithOptions(params.N, opts)
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("sdb-server: %v", err)
 	}
 	fmt.Printf("sdb-server: listening on %s (modulus %d bits)\n", addr, params.N.BitLen())
-	if err := srv.Serve(); err != nil {
-		log.Fatalf("sdb-server: %v", err)
+
+	// Graceful shutdown: stop accepting, abort in-flight queries, then
+	// make everything durable — a checkpoint compacts the log so the next
+	// start recovers from snapshots instead of a long replay.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("sdb-server: %s: shutting down\n", sig)
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("sdb-server: %v", err)
+		}
+	}
+	if store != nil {
+		// The engine-level checkpoint takes the statement write lock, so a
+		// write racing the shutdown finishes (logged and applied) before
+		// the snapshot is cut.
+		if err := eng.Checkpoint(); err != nil {
+			log.Printf("sdb-server: final checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("sdb-server: wal close: %v", err)
+		}
 	}
 }

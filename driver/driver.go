@@ -4,7 +4,7 @@
 //
 // Two DSN forms are supported:
 //
-//	mem://?bits=512&parallel=0&chunk=0&mem_budget=0&planner=&plan_cache=0
+//	mem://?bits=512&parallel=0&chunk=0&mem_budget=0&planner=&plan_cache=0&data_dir=
 //	    An embedded deployment: fresh scheme secrets and an in-process
 //	    service-provider engine. Handy for tests and the quickstart.
 //	    mem_budget caps each query's resident rows in the embedded
@@ -13,6 +13,12 @@
 //	    engine default, negative = unlimited). planner selects the
 //	    engine's planning pass mode ("off" disables pushdown, comma-join
 //	    conversion and build-side selection; empty = SDB_PLANNER default).
+//	    data_dir makes the embedded deployment durable: the engine logs
+//	    every write to a WAL under the directory (checkpoint_every WAL
+//	    records between snapshots, fsync=always|interval|never), and the
+//	    proxy keeps its secrets in <data_dir>/do-state.json; reopening
+//	    the same DSN recovers both sides. DB.Close flushes and closes
+//	    the store.
 //
 //	tcp://host:port?secret=do.key&parallel=0&chunk=0&plan_cache=0
 //	    Connect to a remote sdb-server. secret names the data-owner key
@@ -47,6 +53,7 @@ import (
 	"io"
 	"net/url"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 
@@ -56,6 +63,7 @@ import (
 	"sdb/internal/server"
 	"sdb/internal/storage"
 	"sdb/internal/types"
+	"sdb/internal/wal"
 )
 
 func init() {
@@ -98,6 +106,10 @@ type Connector struct {
 	mu     sync.Mutex
 	p      *proxy.Proxy
 	client *server.Client // non-nil for tcp://, closed with the pool
+	// eng/store are the embedded durable deployment (mem:// with
+	// data_dir): Close checkpoints the engine and closes the WAL store.
+	eng   *engine.Engine
+	store *wal.Store
 }
 
 // OpenDB wraps an existing proxy (sharing its key store and executor) in a
@@ -121,8 +133,8 @@ func (c *Connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
 	return &conn{p: p}, nil
 }
 
-// Close releases the connector's network client, if any. database/sql
-// calls it from DB.Close.
+// Close releases the connector's network client and flushes the embedded
+// durable store, if any. database/sql calls it from DB.Close.
 func (c *Connector) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -131,7 +143,19 @@ func (c *Connector) Close() error {
 		c.client = nil
 		return err
 	}
-	return nil
+	var err error
+	if c.store != nil {
+		// Checkpoint under the engine's write lock so no statement is
+		// mid-flight, then close the log.
+		if c.eng != nil {
+			err = c.eng.Checkpoint()
+		}
+		if cerr := c.store.Close(); err == nil {
+			err = cerr
+		}
+		c.store, c.eng = nil, nil
+	}
+	return err
 }
 
 func (c *Connector) proxy() (*proxy.Proxy, error) {
@@ -149,16 +173,19 @@ func (c *Connector) proxy() (*proxy.Proxy, error) {
 	switch c.url.Scheme {
 	case "mem":
 		bits := atoiDefault(q.Get("bits"), 512)
+		engOpts := engine.Options{
+			Parallelism: opts.Parallelism, ChunkSize: opts.ChunkSize,
+			MemBudgetRows: atoiDefault(q.Get("mem_budget"), 0),
+			Planner:       q.Get("planner"),
+		}
+		if dataDir := q.Get("data_dir"); dataDir != "" {
+			return c.durableMemProxy(dataDir, bits, q, engOpts, opts)
+		}
 		secret, err := secure.Setup(bits, secure.DefaultValueBits, secure.DefaultMaskBits)
 		if err != nil {
 			return nil, fmt.Errorf("sdb: setup: %w", err)
 		}
-		eng := engine.NewWithOptions(storage.NewCatalog(), secret.N(),
-			engine.Options{
-				Parallelism: opts.Parallelism, ChunkSize: opts.ChunkSize,
-				MemBudgetRows: atoiDefault(q.Get("mem_budget"), 0),
-				Planner:       q.Get("planner"),
-			})
+		eng := engine.NewWithOptions(storage.NewCatalog(), secret.N(), engOpts)
 		p, err := proxy.NewWithOptions(secret, eng, opts)
 		if err != nil {
 			return nil, err
@@ -190,6 +217,66 @@ func (c *Connector) proxy() (*proxy.Proxy, error) {
 		c.p = p
 	}
 	return c.p, nil
+}
+
+// durableMemProxy builds the embedded durable deployment (mem:// with
+// data_dir): the engine's catalog is recovered from (and logged to) a WAL
+// store under dataDir, and the proxy's secrets live in
+// dataDir/do-state.json. A fresh directory generates new secrets; an
+// existing one must carry both halves or opening fails — WAL shares
+// without the DO state file are permanently undecryptable.
+func (c *Connector) durableMemProxy(dataDir string, bits int, q url.Values, engOpts engine.Options, opts proxy.Options) (*proxy.Proxy, error) {
+	statePath := filepath.Join(dataDir, "do-state.json")
+	opts.StatePath = statePath
+
+	catalog := storage.NewCatalog()
+	store, err := wal.Open(dataDir, catalog, wal.Options{
+		Fsync:           q.Get("fsync"),
+		CheckpointEvery: atoiDefault(q.Get("checkpoint_every"), 1024),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sdb: open data_dir: %w", err)
+	}
+	fail := func(err error) (*proxy.Proxy, error) {
+		store.Close()
+		return nil, err
+	}
+
+	_, statErr := os.Stat(statePath)
+	haveState := statErr == nil
+	info := store.RecoveryInfo()
+	if !haveState && (info.Tables > 0 || info.LSN > 0) {
+		return fail(fmt.Errorf("sdb: %s holds recovered tables but %s is missing; the shares cannot be decrypted", dataDir, statePath))
+	}
+
+	var p *proxy.Proxy
+	if haveState {
+		secret, err := proxy.LoadStateSecret(statePath)
+		if err != nil {
+			return fail(err)
+		}
+		eng := engine.NewWithDurability(catalog, secret.N(), engOpts, store)
+		if p, err = proxy.NewFromStateFile(statePath, eng, opts); err != nil {
+			return fail(err)
+		}
+		c.eng = eng
+	} else {
+		secret, err := secure.Setup(bits, secure.DefaultValueBits, secure.DefaultMaskBits)
+		if err != nil {
+			return fail(fmt.Errorf("sdb: setup: %w", err))
+		}
+		eng := engine.NewWithDurability(catalog, secret.N(), engOpts, store)
+		if p, err = proxy.NewWithOptions(secret, eng, opts); err != nil {
+			return fail(err)
+		}
+		if err := p.SaveState(statePath); err != nil {
+			return fail(err)
+		}
+		c.eng = eng
+	}
+	c.store = store
+	c.p = p
+	return p, nil
 }
 
 func atoiDefault(s string, def int) int {

@@ -5,6 +5,7 @@ import (
 	"database/sql"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -328,5 +329,74 @@ func TestDriverMemBudgetSpill(t *testing.T) {
 			t.Fatalf("Rows.Close left %d spill entries behind", len(entries))
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDurableMemDSN opens a durable embedded deployment twice: the first
+// process runs the quickstart and closes; the second must recover every
+// table, decrypt the shares with the restored DO state, and keep writing.
+func TestDurableMemDSN(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "mem://?bits=256&data_dir=" + dir
+
+	db, err := sql.Open("sdb", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quickstartRoundTrip(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := sql.Open("sdb", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	var total int64
+	if err := db2.QueryRow("SELECT SUM(salary) FROM staff").Scan(&total); err != nil {
+		t.Fatalf("query after restart: %v", err)
+	}
+	if total != 120000+110000+95000+99000+90000 {
+		t.Fatalf("recovered SUM(salary) = %d", total)
+	}
+	if _, err := db2.Exec("INSERT INTO staff VALUES (6, 'frank', 'eng', 130000)"); err != nil {
+		t.Fatalf("insert after restart: %v", err)
+	}
+	if err := db2.QueryRow("SELECT COUNT(*) FROM staff WHERE salary > 100000").Scan(&total); err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("encrypted filter after restart = %d, want 3", total)
+	}
+}
+
+// TestDurableMemDSNRejectsMissingState refuses to open a data dir whose
+// shares exist but whose DO state file is gone: nothing could decrypt
+// them.
+func TestDurableMemDSNRejectsMissingState(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "mem://?bits=256&data_dir=" + dir
+	db, err := sql.Open("sdb", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (a INT SENSITIVE, b INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := os.Remove(filepath.Join(dir, "do-state.json")); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := sql.Open("sdb", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Ping(); err == nil {
+		t.Fatal("open succeeded with recovered shares but no DO state")
 	}
 }

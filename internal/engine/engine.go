@@ -95,6 +95,18 @@ type Engine struct {
 	// (subqueries in FROM) runs lock-free under the caller's hold, which
 	// keeps the RWMutex non-reentrant-safe.
 	execMu sync.RWMutex
+	// dur is the pluggable persistence layer. Write paths follow
+	// log-before-apply: validate fully, log one record, then mutate the
+	// catalog (the mutation cannot fail post-validation). nil keeps the
+	// engine purely in-memory. Hooks run under execMu's write lock, so the
+	// catalog is quiescent while the layer snapshots it.
+	dur storage.Durability
+	// rotGen/catGen mirror the proxy's plan-cache generation counters so
+	// they can be persisted with every WAL record and survive restarts:
+	// catGen advances on CREATE/INSERT/DROP and plain UPDATEs, rotGen on
+	// key-rotation UPDATEs (sdb_keyupdate in a SET expression). Only read
+	// outside execMu (Generations), hence atomics.
+	rotGen, catGen atomic.Uint64
 }
 
 // Options tune the engine's chunked parallel execution and its per-query
@@ -149,6 +161,64 @@ func NewWithOptions(catalog *storage.Catalog, n *big.Int, opts Options) *Engine 
 		e.half = new(big.Int).Rsh(n, 1)
 	}
 	return e
+}
+
+// NewWithDurability is NewWithOptions plus a persistence layer. The
+// catalog should be the one dur recovered into; the engine seeds its
+// generation counters from the recovered values so post-restart counters
+// continue where the crashed process stopped.
+func NewWithDurability(catalog *storage.Catalog, n *big.Int, opts Options, dur storage.Durability) *Engine {
+	e := NewWithOptions(catalog, n, opts)
+	e.dur = dur
+	if dur != nil {
+		g := dur.Recovered()
+		e.rotGen.Store(g.Rotation)
+		e.catGen.Store(g.Catalog)
+	}
+	return e
+}
+
+// Checkpoint forces a durability checkpoint under the statement write
+// lock, so the snapshot sees a quiescent catalog with no half-applied
+// statement (graceful-shutdown path). No-op without a durability layer or
+// when the layer has no Checkpoint method.
+func (e *Engine) Checkpoint() error {
+	if e.dur == nil {
+		return nil
+	}
+	cp, ok := e.dur.(interface{ Checkpoint() error })
+	if !ok {
+		return nil
+	}
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return cp.Checkpoint()
+}
+
+// Generations returns the engine's rotation and catalog write counters.
+// A proxy constructed over a recovered engine seeds its plan-cache
+// generation stamps from these so they never regress across restarts.
+func (e *Engine) Generations() (rotation, catalog uint64) {
+	return e.rotGen.Load(), e.catGen.Load()
+}
+
+// nextGens returns the counters a statement will commit: a key rotation
+// advances the rotation generation, every other write advances the
+// catalog generation. The values are logged with the statement's WAL
+// record and stored (commitGens) only after the statement succeeds.
+func (e *Engine) nextGens(rotation bool) storage.Generations {
+	g := storage.Generations{Rotation: e.rotGen.Load(), Catalog: e.catGen.Load()}
+	if rotation {
+		g.Rotation++
+	} else {
+		g.Catalog++
+	}
+	return g
+}
+
+func (e *Engine) commitGens(g storage.Generations) {
+	e.rotGen.Store(g.Rotation)
+	e.catGen.Store(g.Catalog)
 }
 
 // SetOptions replaces the execution options. It must not be called
@@ -223,17 +293,13 @@ type Result struct {
 func (e *Engine) Execute(stmt sqlparser.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.CreateTable:
-		e.execMu.Lock()
-		defer e.execMu.Unlock()
-		return e.execCreate(s)
+		return e.execWrite(func() (*Result, error) { return e.execCreate(s) })
 	case *sqlparser.Insert:
-		e.execMu.Lock()
-		defer e.execMu.Unlock()
-		return e.execInsert(s)
+		return e.execWrite(func() (*Result, error) { return e.execInsert(s) })
 	case *sqlparser.Update:
-		e.execMu.Lock()
-		defer e.execMu.Unlock()
-		return e.execUpdate(s)
+		return e.execWrite(func() (*Result, error) { return e.execUpdate(s) })
+	case *sqlparser.DropTable:
+		return e.execWrite(func() (*Result, error) { return e.execDrop(s) })
 	case *sqlparser.Select:
 		e.execMu.RLock()
 		defer e.execMu.RUnlock()
@@ -241,6 +307,25 @@ func (e *Engine) Execute(stmt sqlparser.Statement) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
+}
+
+// execWrite runs one write statement under the write lock and, once the
+// statement has been logged and applied, gives the durability layer its
+// checkpoint opportunity — after the apply, so a checkpoint's snapshot
+// always contains the record whose LSN it claims.
+func (e *Engine) execWrite(fn func() (*Result, error)) (*Result, error) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	res, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	if e.dur != nil {
+		if err := e.dur.MaybeCheckpoint(); err != nil {
+			return nil, fmt.Errorf("engine: checkpoint: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // execUpdate evaluates SET expressions against each (optionally filtered)
@@ -323,13 +408,65 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	g := e.nextGens(updateIsRotation(s))
+	if e.dur != nil {
+		// Log the fully-evaluated replacement columns (not the SET
+		// expressions): replay is a plain swap that cannot diverge from
+		// what this evaluation produced — in particular, re-keyed shares
+		// from a rotation land on the log already re-keyed.
+		if err := e.dur.LogUpdate(t.Name, newCols, g); err != nil {
+			return nil, err
+		}
+	}
 	for idx, col := range newCols {
 		t.Cols[idx] = col
 	}
+	e.commitGens(g)
 	return &Result{
 		Columns: []ResultColumn{{Name: "updated", Kind: types.KindInt}},
 		Rows:    []types.Row{{types.NewInt(updated.Load())}},
 	}, nil
+}
+
+// updateIsRotation reports whether an UPDATE applies a key-rotation token
+// (the proxy's RotateColumn/RotateMask issue SET col = sdb_keyupdate(…)).
+// Rotation advances the rotation generation — the counter that
+// invalidates cached token-bearing plans — instead of the catalog one.
+func updateIsRotation(s *sqlparser.Update) bool {
+	for _, set := range s.Set {
+		if exprUsesKeyUpdate(set.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprUsesKeyUpdate(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparser.FuncCall:
+		if strings.EqualFold(x.Name, "sdb_keyupdate") {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprUsesKeyUpdate(a) {
+				return true
+			}
+		}
+	case *sqlparser.BinaryExpr:
+		return exprUsesKeyUpdate(x.L) || exprUsesKeyUpdate(x.R)
+	case *sqlparser.UnaryExpr:
+		return exprUsesKeyUpdate(x.E)
+	case *sqlparser.CaseExpr:
+		for _, w := range x.Whens {
+			if exprUsesKeyUpdate(w.Cond) || exprUsesKeyUpdate(w.Then) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return exprUsesKeyUpdate(x.Else)
+		}
+	}
+	return false
 }
 
 // ExecuteSQL parses and runs one statement.
@@ -350,9 +487,41 @@ func (e *Engine) execCreate(s *sqlparser.CreateTable) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.catalog.Create(storage.NewTable(s.Name, schema)); err != nil {
+	t := storage.NewTable(s.Name, schema)
+	// Pre-check existence so a duplicate CREATE fails before it is logged
+	// (apply must not be able to fail once the record is on the WAL).
+	if _, err := e.catalog.Get(s.Name); err == nil {
+		return nil, fmt.Errorf("storage: table %q already exists", s.Name)
+	}
+	g := e.nextGens(false)
+	if e.dur != nil {
+		if err := e.dur.LogCreate(t, g); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.catalog.Create(t); err != nil {
 		return nil, err
 	}
+	e.commitGens(g)
+	return &Result{}, nil
+}
+
+// execDrop removes a table. The proxy discards the table's keys on its
+// side; the engine only has the stored shares to forget.
+func (e *Engine) execDrop(s *sqlparser.DropTable) (*Result, error) {
+	if _, err := e.catalog.Get(s.Name); err != nil {
+		return nil, err
+	}
+	g := e.nextGens(false)
+	if e.dur != nil {
+		if err := e.dur.LogDrop(s.Name, g); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.catalog.Drop(s.Name); err != nil {
+		return nil, err
+	}
+	e.commitGens(g)
 	return &Result{}, nil
 }
 
@@ -389,6 +558,13 @@ func (e *Engine) execInsert(s *sqlparser.Insert) (*Result, error) {
 			}
 		}
 	}
+	// Build and validate every row before touching the table, so an error
+	// mid-statement leaves no partial insert behind and the durability
+	// layer can log the whole batch as one record (one fsync) before any
+	// row lands in memory.
+	rows := make([]types.Row, 0, len(s.Rows))
+	rowEncs := make([]*big.Int, 0, len(s.Rows))
+	helpers := make([]*big.Int, 0, len(s.Rows))
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(idx) {
 			return nil, fmt.Errorf("engine: INSERT arity %d != %d columns", len(exprRow), len(idx))
@@ -422,10 +598,22 @@ func (e *Engine) execInsert(s *sqlparser.Insert) (*Result, error) {
 			}
 			row[idx[k]] = v
 		}
-		if err := t.Append(row, rowEnc, helper); err != nil {
+		rows = append(rows, row)
+		rowEncs = append(rowEncs, rowEnc)
+		helpers = append(helpers, helper)
+	}
+	g := e.nextGens(false)
+	if e.dur != nil {
+		if err := e.dur.LogInsert(t.Name, rows, rowEncs, helpers, g); err != nil {
 			return nil, err
 		}
 	}
+	for i, row := range rows {
+		if err := t.Append(row, rowEncs[i], helpers[i]); err != nil {
+			return nil, err
+		}
+	}
+	e.commitGens(g)
 	return &Result{}, nil
 }
 

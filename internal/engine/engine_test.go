@@ -324,3 +324,46 @@ func TestUpdateValidation(t *testing.T) {
 		t.Error("type mismatch should fail")
 	}
 }
+
+func TestDropTable(t *testing.T) {
+	e := plainEngine(t)
+	mustExec(t, e, "DROP TABLE dept")
+	if _, err := e.ExecuteSQL("SELECT * FROM dept"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	if _, err := e.ExecuteSQL("DROP TABLE dept"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+	// The other table is untouched, and the name is reusable.
+	mustExec(t, e, "SELECT id FROM emp")
+	mustExec(t, e, "CREATE TABLE dept (name STRING)")
+	mustExec(t, e, "INSERT INTO dept VALUES ('ops')")
+	if res := mustExec(t, e, "SELECT name FROM dept"); len(res.Rows) != 1 || res.Rows[0][0].S != "ops" {
+		t.Fatalf("recreated table: %+v", res.Rows)
+	}
+}
+
+// TestGenerationCounters pins which statements bump which plan-cache
+// generation: every write bumps the catalog generation, and only a
+// key-update rewrite bumps the rotation generation.
+func TestGenerationCounters(t *testing.T) {
+	e := New(storage.NewCatalog(), nil)
+	rot0, cat0 := e.Generations()
+	if rot0 != 0 || cat0 != 0 {
+		t.Fatalf("fresh engine generations = %d/%d", rot0, cat0)
+	}
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1)")
+	mustExec(t, e, "UPDATE t SET a = a + 1")
+	mustExec(t, e, "DROP TABLE t")
+	rot, cat := e.Generations()
+	if rot != 0 || cat != 4 {
+		t.Fatalf("generations after 4 writes = %d/%d, want 0/4", rot, cat)
+	}
+	// Reads never bump either counter.
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	mustExec(t, e, "SELECT a FROM t")
+	if rot2, cat2 := e.Generations(); rot2 != 0 || cat2 != 5 {
+		t.Fatalf("generations after select = %d/%d, want 0/5", rot2, cat2)
+	}
+}

@@ -85,6 +85,32 @@ func (ks *KeyStore) Get(table string) (*TableMeta, error) {
 	return meta, nil
 }
 
+// Delete forgets a table's metadata (DROP TABLE). Dropping the keys makes
+// the shares still sitting at the SP permanently undecryptable, which is
+// the correct disposal semantics for encrypted outsourcing.
+func (ks *KeyStore) Delete(table string) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	key := strings.ToLower(table)
+	if _, ok := ks.tables[key]; !ok {
+		return fmt.Errorf("proxy: unknown table %q (not uploaded through this proxy)", table)
+	}
+	delete(ks.tables, key)
+	return nil
+}
+
+// All returns the table metadata map (lower-cased name → meta). The map is
+// a copy; the *TableMeta values are live. State persistence serializes it.
+func (ks *KeyStore) All() map[string]*TableMeta {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	out := make(map[string]*TableMeta, len(ks.tables))
+	for k, m := range ks.tables {
+		out[k] = m
+	}
+	return out
+}
+
 // NumKeys returns the total number of column keys stored — the paper's
 // point is that this is O(#sensitive columns), not O(rows).
 func (ks *KeyStore) NumKeys() int {

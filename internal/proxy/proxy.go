@@ -72,6 +72,12 @@ type Options struct {
 	// cache outright. Every cached entry is invalidated by key rotation
 	// and by catalog change.
 	PlanCacheSize int
+	// StatePath, when set, makes the proxy persist its secret state
+	// (SaveState) after every operation that changes it: CREATE registers
+	// keys before the upload is forwarded, DROP discards them, rotation
+	// swaps them. Embedded durable deployments (driver data_dir) set it so
+	// the DO side survives restarts alongside the SP's WAL.
+	StatePath string
 }
 
 // rowIDBits bounds row ids to [1, 2^rowIDBits); the SIES modulus is
@@ -95,7 +101,7 @@ func NewWithOptions(secret *secure.Secret, exec Executor, opts Options) (*Proxy,
 	if err != nil {
 		return nil, err
 	}
-	return &Proxy{
+	p := &Proxy{
 		secret: secret,
 		cipher: cipher,
 		store:  NewKeyStore(),
@@ -103,7 +109,23 @@ func NewWithOptions(secret *secure.Secret, exec Executor, opts Options) (*Proxy,
 		pool:   parallel.New(opts.Parallelism, opts.ChunkSize),
 		opts:   opts,
 		cache:  buildPlanCache(opts.PlanCacheSize),
-	}, nil
+	}
+	p.seedGenerations()
+	return p, nil
+}
+
+// seedGenerations initializes the plan-cache generation counters from the
+// executor when it exposes recovered ones (a durable engine does). Seeding
+// keeps the stamps monotonic across a service-provider restart: a plan
+// cached at pre-crash generation G can never collide with a fresh
+// post-restart generation, because the restarted counters resume at the
+// last durable value instead of zero.
+func (p *Proxy) seedGenerations() {
+	if g, ok := p.exec.(interface{ Generations() (uint64, uint64) }); ok {
+		rot, cat := g.Generations()
+		p.rotGen.Store(rot)
+		p.catGen.Store(cat)
+	}
 }
 
 // buildPlanCache resolves the cache size knob: negative disables, zero
@@ -221,15 +243,50 @@ func (p *Proxy) execCreate(ctx context.Context, s *sqlparser.CreateTable, st Sta
 	if err := p.store.Put(s.Name, meta); err != nil {
 		return nil, err
 	}
+	// Persist the new column keys before the table exists at the SP:
+	// shares without keys are stranded, keys without a table are a
+	// harmless orphan (cleaned up below if the upload fails).
+	if err := p.persistState(); err != nil {
+		p.store.Delete(s.Name)
+		return nil, err
+	}
 	p.catGen.Add(1)
 	st.Rewrite = time.Since(t0)
 
 	t1 := time.Now()
 	if _, err := p.exec.ExecuteSQL(spStmt.String()); err != nil {
+		p.store.Delete(s.Name)
+		p.persistState()
 		return nil, err
 	}
 	st.Server = time.Since(t1)
 	st.RewrittenSQL = spStmt.String()
+	return &Result{Stats: st}, nil
+}
+
+// execDrop forwards a DROP TABLE verbatim and discards the table's column
+// keys. The shares at the SP become undecryptable the moment the keys are
+// gone, so key deletion is deferred until the SP confirms the drop.
+func (p *Proxy) execDrop(ctx context.Context, s *sqlparser.DropTable, st Stats) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := p.store.Get(s.Name); err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	if _, err := p.exec.ExecuteSQL(s.String()); err != nil {
+		return nil, err
+	}
+	st.Server = time.Since(t1)
+	if err := p.store.Delete(s.Name); err != nil {
+		return nil, err
+	}
+	if err := p.persistState(); err != nil {
+		return nil, err
+	}
+	p.catGen.Add(1)
+	st.RewrittenSQL = s.String()
 	return &Result{Stats: st}, nil
 }
 

@@ -66,6 +66,12 @@ func (p *Proxy) RotateColumn(table, column string) (Stats, error) {
 	// rotation generation so prepared statements re-derive their tokens.
 	meta.Keys[strings.ToLower(column)] = newKey
 	p.rotGen.Add(1)
+	// Persist immediately: once the SP holds re-keyed shares, the new key
+	// is the only thing that can decrypt them (see docs/storage.md on the
+	// crash window between the server's commit and this write).
+	if err := p.persistState(); err != nil {
+		return st, err
+	}
 	return st, nil
 }
 
@@ -111,5 +117,8 @@ func (p *Proxy) RotateMask(table string) (Stats, error) {
 	st.Server = time.Since(t1)
 	meta.MaskKey = newKey
 	p.rotGen.Add(1)
+	if err := p.persistState(); err != nil {
+		return st, err
+	}
 	return st, nil
 }

@@ -26,6 +26,7 @@ const (
 	kindSelect stmtKind = iota
 	kindInsert
 	kindCreate
+	kindDrop
 )
 
 // Stmt is a prepared statement at the proxy. For SELECTs, Prepare does the
@@ -63,9 +64,10 @@ type Stmt struct {
 	// has one cursor per statement, so re-execution closes it first.
 	active *Rows
 
-	// INSERT / CREATE state.
+	// INSERT / CREATE / DROP state.
 	ins    *sqlparser.Insert
 	create *sqlparser.CreateTable
+	drop   *sqlparser.DropTable
 
 	closed bool
 }
@@ -101,6 +103,9 @@ func (p *Proxy) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
 	case *sqlparser.CreateTable:
 		s.kind = kindCreate
 		s.create = st
+	case *sqlparser.DropTable:
+		s.kind = kindDrop
+		s.drop = st
 	default:
 		return nil, fmt.Errorf("proxy: unsupported statement %T", parsed)
 	}
@@ -310,6 +315,8 @@ func (s *Stmt) ExecContext(ctx context.Context) (*Result, error) {
 		return s.p.execInsert(ctx, s.ins, s.prep)
 	case kindCreate:
 		return s.p.execCreate(ctx, s.create, s.prep)
+	case kindDrop:
+		return s.p.execDrop(ctx, s.drop, s.prep)
 	default:
 		return nil, fmt.Errorf("proxy: unsupported statement kind %d", s.kind)
 	}

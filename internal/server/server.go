@@ -55,9 +55,16 @@ func New(n *big.Int) *Server {
 // NewWithOptions is New with explicit engine execution options (chunked
 // parallel secure-operator evaluation).
 func NewWithOptions(n *big.Int, opts engine.Options) *Server {
+	return NewWithEngine(engine.NewWithOptions(storage.NewCatalog(), n, opts))
+}
+
+// NewWithEngine builds a server over an existing engine — the durable
+// deployment path, where cmd/sdb-server recovers a WAL-backed catalog and
+// hands the engine in ready to serve.
+func NewWithEngine(eng *engine.Engine) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		eng:        engine.NewWithOptions(storage.NewCatalog(), n, opts),
+		eng:        eng,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		maxStmts:   DefaultMaxSessionStmts,

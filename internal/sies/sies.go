@@ -58,6 +58,11 @@ func GenerateKey() ([]byte, error) {
 // M returns the ciphertext modulus.
 func (c *Cipher) M() *big.Int { return new(big.Int).Set(c.m) }
 
+// Key returns a copy of the secret key. The proxy persists it in its
+// data-owner state file so a restarted proxy can decrypt row ids it
+// encrypted before the restart.
+func (c *Cipher) Key() []byte { return append([]byte(nil), c.key...) }
+
 // pad derives the additive one-time pad for an item nonce. The pad is a
 // pseudorandom element of Z_M obtained by expanding HMAC output until we
 // have enough bits, then reducing; the two extra blocks of slack keep the

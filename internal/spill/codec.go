@@ -83,6 +83,22 @@ func (w *Writer) WriteValue(v types.Value) error {
 	}
 }
 
+// WriteBig writes a length-prefixed non-negative big integer (nil writes
+// the zero-length form, which reads back as zero). The WAL uses it for the
+// per-row SIES row ids and helpers, which are bigs outside the Value
+// domain.
+func (w *Writer) WriteBig(v *big.Int) error {
+	var raw []byte
+	if v != nil {
+		raw = v.Bytes()
+	}
+	if err := w.WriteUvarint(uint64(len(raw))); err != nil {
+		return err
+	}
+	_, err := w.w.Write(raw)
+	return err
+}
+
 // WriteRow writes a column count and every value of the row.
 func (w *Writer) WriteRow(row types.Row) error {
 	if err := w.WriteUvarint(uint64(len(row))); err != nil {
@@ -94,6 +110,23 @@ func (w *Writer) WriteRow(row types.Row) error {
 		}
 	}
 	return nil
+}
+
+// maxAlloc caps any single length prefix the decoder will honor. Spill
+// files and WAL records are written by this process, which never produces
+// a component anywhere near this size, so a larger prefix is always
+// corruption — erroring out beats letting a flipped bit drive a
+// multi-gigabyte allocation during recovery.
+const maxAlloc = 1 << 30
+
+// capHint bounds a count-derived pre-allocation: trust small counts, make
+// large (possibly corrupt) ones grow incrementally so a bogus count fails
+// with a truncation error instead of an OOM.
+func capHint(n uint64) int {
+	if n > 1024 {
+		return 1024
+	}
+	return int(n)
 }
 
 // Reader decodes what Writer encoded.
@@ -137,11 +170,24 @@ func (r *Reader) ReadString() (string, error) {
 		}
 		return "", fmt.Errorf("spill: truncated string: %w", err)
 	}
-	raw := make([]byte, n)
-	if _, err := io.ReadFull(r.r, raw); err != nil {
-		return "", fmt.Errorf("spill: truncated string: %w", err)
+	raw, err := r.readBytes(n, "string")
+	if err != nil {
+		return "", err
 	}
 	return string(raw), nil
+}
+
+// readBytes reads an n-byte component, rejecting implausible lengths
+// before allocating.
+func (r *Reader) readBytes(n uint64, what string) ([]byte, error) {
+	if n > maxAlloc {
+		return nil, fmt.Errorf("spill: implausible %s length %d", what, n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r.r, raw); err != nil {
+		return nil, fmt.Errorf("spill: truncated %s: %w", what, err)
+	}
+	return raw, nil
 }
 
 // ReadValue reads one typed value.
@@ -170,14 +216,31 @@ func (r *Reader) ReadValue() (types.Value, error) {
 		if err != nil {
 			return types.Null, fmt.Errorf("spill: truncated share: %w", err)
 		}
-		raw := make([]byte, n)
-		if _, err := io.ReadFull(r.r, raw); err != nil {
-			return types.Null, fmt.Errorf("spill: truncated share: %w", err)
+		raw, err := r.readBytes(n, "share")
+		if err != nil {
+			return types.Null, err
 		}
 		return types.NewShare(new(big.Int).SetBytes(raw)), nil
 	default:
 		return types.Null, fmt.Errorf("spill: unknown value kind %d", kb)
 	}
+}
+
+// ReadBig reads what WriteBig encoded. A clean io.EOF before the length
+// prefix is returned verbatim (record boundary).
+func (r *Reader) ReadBig() (*big.Int, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("spill: truncated big: %w", err)
+	}
+	raw, err := r.readBytes(n, "big")
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(raw), nil
 }
 
 // ReadRow reads one row. A clean io.EOF before the column count means the
@@ -190,11 +253,13 @@ func (r *Reader) ReadRow() (types.Row, error) {
 		}
 		return nil, fmt.Errorf("spill: truncated row: %w", err)
 	}
-	row := make(types.Row, n)
-	for i := range row {
-		if row[i], err = r.ReadValue(); err != nil {
+	row := make(types.Row, 0, capHint(n))
+	for i := uint64(0); i < n; i++ {
+		v, err := r.ReadValue()
+		if err != nil {
 			return nil, err
 		}
+		row = append(row, v)
 	}
 	return row, nil
 }

@@ -26,6 +26,13 @@ type ColumnDef struct {
 	Type types.ColumnType
 }
 
+// DropTable is DROP TABLE name. The proxy forwards it verbatim and
+// discards the table's column keys; a durable service provider logs it so
+// the drop survives restart.
+type DropTable struct {
+	Name string
+}
+
 // Insert is INSERT INTO name [(cols)] VALUES (…), (…).
 type Insert struct {
 	Table   string
@@ -98,6 +105,7 @@ type SubqueryRef struct {
 }
 
 func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
 func (*Insert) stmt()      {}
 func (*Update) stmt()      {}
 func (*Select) stmt()      {}
@@ -354,6 +362,10 @@ func (c *CreateTable) String() string {
 		cols[i] = col.Name + " " + columnTypeSQL(col.Type)
 	}
 	return "CREATE TABLE " + c.Name + " (" + strings.Join(cols, ", ") + ")"
+}
+
+func (d *DropTable) String() string {
+	return "DROP TABLE " + d.Name
 }
 
 func columnTypeSQL(t types.ColumnType) string {

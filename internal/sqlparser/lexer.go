@@ -54,7 +54,7 @@ var keywords = map[string]bool{
 	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
 	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
 	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
-	"UPDATE": true, "SET": true,
+	"UPDATE": true, "SET": true, "DROP": true,
 	"VALUES": true, "JOIN": true, "INNER": true, "ON": true,
 	"DISTINCT": true, "CASE": true, "WHEN": true, "THEN": true,
 	"ELSE": true, "END": true, "SENSITIVE": true, "TRUE": true,

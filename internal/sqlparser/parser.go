@@ -146,9 +146,23 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case p.isKeyword("UPDATE"):
 		return p.parseUpdate()
+	case p.isKeyword("DROP"):
+		return p.parseDropTable()
 	default:
-		return nil, fmt.Errorf("sqlparser: expected SELECT, CREATE, INSERT or UPDATE, got %q", p.peek().text)
+		return nil, fmt.Errorf("sqlparser: expected SELECT, CREATE, DROP, INSERT or UPDATE, got %q", p.peek().text)
 	}
+}
+
+func (p *parser) parseDropTable() (Statement, error) {
+	p.advance() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
 }
 
 func (p *parser) parseUpdate() (Statement, error) {

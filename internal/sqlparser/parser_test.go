@@ -301,3 +301,22 @@ func TestParseUpdateErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseDropTable(t *testing.T) {
+	stmt := mustParse(t, "DROP TABLE accounts")
+	dt, ok := stmt.(*DropTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if dt.Name != "accounts" {
+		t.Fatalf("bad drop: %+v", dt)
+	}
+	if got := dt.String(); got != "DROP TABLE accounts" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"DROP", "DROP TABLE", "DROP VIEW v", "DROP TABLE a b"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}

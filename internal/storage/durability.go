@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"math/big"
+
+	"sdb/internal/types"
+)
+
+// Generations are the monotonic write counters the proxy's plan cache
+// stamps entries with: Rotation counts key rotations (token-invalidating),
+// Catalog counts catalog-shape changes (CREATE/INSERT/DROP). A durability
+// layer persists them with every record so a restarted service provider
+// reports counters that never move backwards — a proxy that seeds its own
+// counters from the recovered values can therefore never have a cached
+// plan's stamp collide with a pre-restart generation.
+type Generations struct {
+	Rotation uint64
+	Catalog  uint64
+}
+
+// Durability is the pluggable persistence hook behind the catalog. The
+// engine calls the Log methods on its write paths after validating a
+// statement and BEFORE applying it in memory (write-ahead discipline: a
+// statement is committed when its record is on the log, and the in-memory
+// apply that follows cannot fail post-validation). MaybeCheckpoint runs
+// after the apply, so an automatic checkpoint always snapshots a state
+// that includes every logged record.
+//
+// All methods are invoked under the engine's statement write lock: at most
+// one call is in flight at a time, and the catalog is quiescent for the
+// duration (checkpoints may read table columns without synchronization).
+//
+// A nil Durability — the default everywhere — is the in-memory deployment:
+// the engine skips every hook and behaves byte-identically to the
+// pre-durability engine. internal/wal provides the on-disk implementation.
+type Durability interface {
+	// LogCreate records a CREATE TABLE (name + schema; the table is empty).
+	LogCreate(t *Table, g Generations) error
+	// LogInsert records one batched INSERT: rows plus the per-row
+	// SIES-encrypted row ids and helpers (nil entries mean the zero
+	// placeholders Append substitutes for insensitive-only tables).
+	LogInsert(table string, rows []types.Row, rowEnc, helper []*big.Int, g Generations) error
+	// LogUpdate records a copy-on-write UPDATE as the full swapped columns,
+	// keyed by column index. Key-rotation token application is an UPDATE
+	// like any other: the re-keyed shares are what lands on the log.
+	LogUpdate(table string, cols map[int][]types.Value, g Generations) error
+	// LogDrop records a DROP TABLE.
+	LogDrop(table string, g Generations) error
+	// MaybeCheckpoint lets the layer take a periodic column-snapshot
+	// checkpoint. Called after every applied write statement.
+	MaybeCheckpoint() error
+	// Recovered reports the generation counters as of recovery (or the
+	// latest logged values, whichever is newer). Engines seed their own
+	// counters from it at construction.
+	Recovered() Generations
+}

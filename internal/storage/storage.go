@@ -127,14 +127,34 @@ func (c *Catalog) Drop(name string) error {
 	return nil
 }
 
-// Names returns the sorted table names.
+// Names returns the table names as declared (original case), sorted
+// case-insensitively. The map key is the lower-cased lookup form; listings
+// must show what the user wrote.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
-	for k := range c.tables {
-		out = append(out, k)
+	for _, t := range c.tables {
+		out = append(out, t.Name)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i]) < strings.ToLower(out[j])
+	})
+	return out
+}
+
+// Tables returns the tables sorted by name. The slice is a snapshot; the
+// *Table pointers are live. Checkpoints iterate it while the caller
+// guarantees no concurrent writer (see Durability).
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].Name) < strings.ToLower(out[j].Name)
+	})
 	return out
 }

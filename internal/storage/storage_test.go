@@ -72,8 +72,12 @@ func TestCatalog(t *testing.T) {
 	if _, err := c.Get("nope"); err == nil {
 		t.Error("missing table")
 	}
-	if names := c.Names(); len(names) != 1 || names[0] != "t1" {
+	// Names preserves the declared case ("T1"), not the lookup key.
+	if names := c.Names(); len(names) != 1 || names[0] != "T1" {
 		t.Errorf("names: %v", names)
+	}
+	if tables := c.Tables(); len(tables) != 1 || tables[0] != tbl {
+		t.Errorf("tables: %v", tables)
 	}
 	if err := c.Drop("T1"); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sdb/internal/storage"
+)
+
+// Manifest is the durable root of the store, replaced atomically (write to
+// a temp file, fsync, rename, fsync the directory) at every checkpoint. It
+// names the snapshot files that together capture the catalog at
+// CheckpointLSN and the generation counters as of that LSN; WAL records
+// with LSN > CheckpointLSN are replayed on top. Any snapshot or log file
+// the manifest does not reference is garbage from an interrupted
+// checkpoint and is deleted on recovery.
+type Manifest struct {
+	Version       int                 `json:"version"`
+	CheckpointLSN uint64              `json:"checkpoint_lsn"`
+	Generations   storage.Generations `json:"generations"`
+	Snapshots     []SnapshotRef       `json:"snapshots"`
+}
+
+// SnapshotRef names one table snapshot file.
+type SnapshotRef struct {
+	Table string `json:"table"`
+	File  string `json:"file"`
+}
+
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+)
+
+// readManifest loads dir/MANIFEST. A missing file yields an empty manifest
+// (fresh store), not an error.
+func readManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return &Manifest{Version: manifestVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("wal: unsupported manifest version %d", m.Version)
+	}
+	return &m, nil
+}
+
+// writeManifest atomically replaces dir/MANIFEST. The rename is the commit
+// point of a checkpoint: before it the old manifest (and old log) fully
+// describe the store; after it the new one does.
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,128 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/big"
+	"os"
+	"path/filepath"
+
+	"sdb/internal/spill"
+	"sdb/internal/storage"
+	"sdb/internal/types"
+)
+
+// Snapshot file layout
+//
+//	"SDBSNAP1" | spill-coded body | u32 LE crc32(magic + body)
+//
+// The body is one whole table: name, schema, row count, the per-row SIES
+// row ids and helpers, then each column's values (column-major, matching
+// the store). Snapshots are written to a temp file and renamed into place,
+// and the CRC trailer covers every byte before it, so a snapshot either
+// reads back exactly or is rejected — there is no partial state.
+const snapMagic = "SDBSNAP1"
+
+// writeSnapshot serializes one table to dir/name atomically.
+func writeSnapshot(dir, name string, t *storage.Table) error {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	w := spill.NewWriter(&buf)
+	if err := w.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := writeSchema(w, t.Schema); err != nil {
+		return err
+	}
+	n := t.NumRows()
+	if err := w.WriteUvarint(uint64(n)); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := w.WriteBig(t.RowEnc[i]); err != nil {
+			return err
+		}
+		if err := w.WriteBig(t.Helper[i]); err != nil {
+			return err
+		}
+	}
+	for _, col := range t.Cols {
+		if len(col) != n {
+			return fmt.Errorf("wal: snapshot of %q: column length %d != row count %d", t.Name, len(col), n)
+		}
+		for _, v := range col {
+			if err := w.WriteValue(v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(trailer[:])
+
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readSnapshot loads one table snapshot, verifying the CRC trailer before
+// trusting a single byte of the body.
+func readSnapshot(path string) (*storage.Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: %s: bad snapshot header", path)
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+	}
+	rd := spill.NewReader(bytes.NewReader(body[len(snapMagic):]))
+	name, err := rd.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: snapshot table name: %w", path, err)
+	}
+	schema, err := readSchema(rd)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	n, err := rd.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: snapshot row count: %w", path, err)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("wal: %s: implausible snapshot row count %d", path, n)
+	}
+	t := storage.NewTable(name, schema)
+	t.RowEnc = make([]*big.Int, n)
+	t.Helper = make([]*big.Int, n)
+	for i := range t.RowEnc {
+		if t.RowEnc[i], err = rd.ReadBig(); err != nil {
+			return nil, fmt.Errorf("wal: %s: snapshot row id: %w", path, err)
+		}
+		if t.Helper[i], err = rd.ReadBig(); err != nil {
+			return nil, fmt.Errorf("wal: %s: snapshot helper: %w", path, err)
+		}
+	}
+	for c := range t.Cols {
+		col := make([]types.Value, n)
+		for i := range col {
+			if col[i], err = rd.ReadValue(); err != nil {
+				return nil, fmt.Errorf("wal: %s: snapshot value: %w", path, err)
+			}
+		}
+		t.Cols[c] = col
+	}
+	return t, nil
+}

@@ -4,9 +4,10 @@
 # the streaming cursor pipeline, the parallel spilled-partition scheduler
 # and the bigmod fixed-base cache are exercised by dedicated concurrency
 # tests), a forced-tiny-budget spill regression pass, a planner-off
-# differential pass, a race-detected concurrent spill pass, and a short
-# fuzz smoke over every fuzz target (parser, proxy pipeline, wire
-# encoding).
+# differential pass, a race-detected concurrent spill pass, a
+# race-detected crash-recovery/durability pass (kill-point differential
+# harness + SIGKILL subprocess test), and a short fuzz smoke over every
+# fuzz target (parser, proxy pipeline, wire encoding, WAL records).
 #
 # Usage: scripts/ci.sh [-short]
 #   -short   skip the slow end-to-end suites (integration differential,
@@ -90,6 +91,16 @@ echo "== concurrent spill suite under the race detector"
 SDB_MEM_BUDGET_ROWS=48 SDB_SPILL_PARALLEL=2 \
   go test -race ${SHORT_FLAG} -run 'Spill' ./internal/engine
 
+echo "== crash-recovery / durability suite under the race detector"
+# The WAL package's kill-point differential harness (a simulated crash at
+# every record boundary, torn and CRC-corrupted mid-record writes, across
+# a checkpoint, with decrypted answers compared against the committed
+# prefix), the SIGKILL subprocess test, and the fsync-policy/garbage-
+# collection unit tests — with the race detector on, so the background
+# interval flusher and the engine's checkpoint locking are checked under
+# real interleavings.
+go test -race -count=1 ./internal/wal
+
 echo "== bench smoke (peak-resident-rows + spill-budget assertions)"
 # One iteration of the streaming-memory benchmarks: BenchmarkStreamScan
 # asserts scan batches stay within the pool bound and
@@ -107,6 +118,7 @@ if [[ -z "${SHORT_FLAG}" ]]; then
   go test -run xxx -fuzz FuzzParse      -fuzztime 10s ./internal/sqlparser
   go test -run xxx -fuzz FuzzExecSelect -fuzztime 10s ./internal/proxy
   go test -run xxx -fuzz FuzzValueRoundTrip -fuzztime 10s ./internal/wire
+  go test -run xxx -fuzz FuzzWALRecordRoundTrip -fuzztime 10s ./internal/wal
 fi
 
 echo "CI OK"
