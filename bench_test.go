@@ -98,6 +98,10 @@ func BenchmarkOpMultiply(b *testing.B) {
 // BenchmarkOpSuite is experiment E6: the remaining operator costs per row.
 func BenchmarkOpSuite(b *testing.B) {
 	for _, bits := range modulusSweep {
+		// Isolate widths: tables built for one width's bases must not
+		// consume fixed-base cache budget (and skew admission) for the
+		// next width's sub-benchmarks.
+		bigmod.FixedBaseCacheReset()
 		f := fixture(b, bits)
 		n := f.s.N()
 		tokUpdate, _ := f.s.KeyUpdateToken(f.ckA, f.ckB)
@@ -215,6 +219,59 @@ func batchFixture(b *testing.B, bits, size int) *opBatch {
 	}
 	opBatches[bits] = batch
 	return batch
+}
+
+// BenchmarkApplyTokenBatch measures the batch-amortized token path
+// (Montgomery REDC under the comb tables plus one batched modular
+// inversion for negative exponents) against the scalar ApplyToken loop
+// over the same rows. Like BenchmarkPlanCache it doubles as a CI smoke
+// gate: every run cross-checks the batch shares against the scalar
+// ones and b.Fatals on any divergence.
+func BenchmarkApplyTokenBatch(b *testing.B) {
+	for _, bits := range modulusSweep {
+		f := fixture(b, bits)
+		n := f.s.N()
+		batch := batchFixture(b, bits, 256)
+		// The A→B and B→A tokens carry opposite-sign Q (Q = x_from −
+		// x_to), so the pair covers both the plain exponent path and
+		// the batch-inverted negative-Q path.
+		tokFwd, err := f.s.KeyUpdateToken(f.ckA, f.ckB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tokRev, err := f.s.KeyUpdateToken(f.ckB, f.ckA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name string
+			tok  secure.Token
+		}{{"fwd", tokFwd}, {"rev", tokRev}} {
+			tc := tc
+			b.Run(fmt.Sprintf("%s/n=%d", tc.name, bits), func(b *testing.B) {
+				want := make([]*big.Int, len(batch.ae))
+				for i := range batch.ae {
+					want[i] = secure.ApplyToken(tc.tok, batch.ae[i], batch.w[i], n)
+				}
+				b.ResetTimer()
+				var got []*big.Int
+				for i := 0; i < b.N; i++ {
+					var err error
+					got, err = secure.ApplyTokenBatch(tc.tok, batch.ae, batch.w, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				for i := range want {
+					if want[i] == nil || got[i] == nil || want[i].Cmp(got[i]) != 0 {
+						b.Fatalf("batch share %d diverges from the scalar ApplyToken result", i)
+					}
+				}
+				reportRows(b, len(batch.ae), bits)
+			})
+		}
+	}
 }
 
 // BenchmarkOpCompare times the full comparison protocol per row (key

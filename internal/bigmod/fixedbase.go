@@ -54,11 +54,18 @@ const (
 	fbMaxEntries = 1 << 16
 )
 
-// fbTable is a comb table for one (base, n) pair.
+// fbTable is a comb table for one (base, n) pair. For an odd modulus the
+// entries live in the MONTGOMERY domain (mrows, raw k-limb residues) so
+// the evaluation loop accumulates with REDC — each digit multiply costs
+// 2k² word multiply-adds instead of a full multiply plus trial division —
+// and converts out of the domain exactly once per exponentiation. Even
+// (degenerate) moduli keep the plain big.Int rows.
 type fbTable struct {
-	n    *big.Int
-	bits int          // max exponent width the table covers
-	rows [][]*big.Int // rows[i][j-1] = base^(j << (fbWindow*i)) mod n
+	n     *big.Int
+	bits  int // max exponent width the table covers
+	mctx  *MontCtx
+	mrows [][][]big.Word // mrows[i][j-1] = ToMont(base^(j << (fbWindow*i)))
+	rows  [][]*big.Int   // plain fallback: rows[i][j-1] = base^(j << (fbWindow*i)) mod n
 }
 
 // fbTableBytes estimates the footprint of a table over modulus n covering
@@ -73,7 +80,12 @@ func fbTableBytes(n *big.Int, bits int) int {
 // newFBTable precomputes the comb table covering exponents up to bits wide.
 func newFBTable(base, n *big.Int, bits int) *fbTable {
 	numRows := (bits + fbWindow - 1) / fbWindow
-	t := &fbTable{n: n, bits: bits, rows: make([][]*big.Int, numRows)}
+	t := &fbTable{n: n, bits: bits, mctx: MontCtxFor(n)}
+	if t.mctx != nil {
+		t.buildMont(base, numRows)
+		return t
+	}
+	t.rows = make([][]*big.Int, numRows)
 	b := new(big.Int).Mod(base, n) // b = base^(2^(fbWindow·i)) for row i
 	for i := 0; i < numRows; i++ {
 		row := make([]*big.Int, (1<<fbWindow)-1)
@@ -92,8 +104,37 @@ func newFBTable(base, n *big.Int, bits int) *fbTable {
 	return t
 }
 
+// buildMont precomputes Montgomery-domain rows. The build itself runs on
+// REDC (one ToMont for the base, then one REDC per entry), so table
+// construction gets the same per-multiply win as evaluation.
+func (t *fbTable) buildMont(base *big.Int, numRows int) {
+	m := t.mctx
+	s := m.NewScratch()
+	k := m.Words()
+	bM := m.ToMont(s, base) // bM = ToMont(base^(2^(fbWindow·i))) for row i
+	t.mrows = make([][][]big.Word, numRows)
+	for i := 0; i < numRows; i++ {
+		row := make([][]big.Word, (1<<fbWindow)-1)
+		back := make([]big.Word, len(row)*k) // one backing array per row
+		row[0] = back[:k]
+		copy(row[0], bM)
+		for j := 1; j < len(row); j++ {
+			row[j] = back[j*k : (j+1)*k]
+			m.MulTo(s, row[j], row[j-1], bM)
+		}
+		t.mrows[i] = row
+		if i+1 < numRows {
+			m.MulTo(s, bM, row[len(row)-1], bM)
+		}
+	}
+}
+
 // exp computes base^e mod n for e >= 0 with e.BitLen() <= t.bits.
 func (t *fbTable) exp(e *big.Int) *big.Int {
+	if t.mctx != nil {
+		s := t.mctx.NewScratch()
+		return t.mctx.FromMont(s, t.expMont(e, s))
+	}
 	out := big.NewInt(1)
 	if t.n.Cmp(out) == 0 {
 		return out.SetInt64(0)
@@ -110,6 +151,25 @@ func (t *fbTable) exp(e *big.Int) *big.Int {
 		}
 	}
 	return out
+}
+
+// expMont computes base^e (e ≥ 0, e.BitLen() <= t.bits) as a Montgomery
+// residue, accumulating entirely with REDC. Callers that keep working in
+// the domain (the token applier) use the residue directly; exp converts
+// out once.
+func (t *fbTable) expMont(e *big.Int, s *MontScratch) []big.Word {
+	acc := t.mctx.One()
+	bits := e.BitLen()
+	for i := 0; i*fbWindow < bits; i++ {
+		d := 0
+		for k := 0; k < fbWindow; k++ {
+			d |= int(e.Bit(i*fbWindow+k)) << k
+		}
+		if d != 0 {
+			t.mctx.MulTo(s, acc, acc, t.mrows[i][d-1])
+		}
+	}
+	return acc
 }
 
 // fbState is an entry's lifecycle position.
@@ -255,6 +315,29 @@ func ExpCached(base, exp, n *big.Int) *big.Int {
 		out = out.ModInverse(out, n)
 	}
 	return out
+}
+
+// ExpCachedMont computes base^exp (exp ≥ 0) as a Montgomery residue of
+// ctx, which must be MontCtxFor(n). The comb fast path stays in the
+// Montgomery domain throughout (zero conversions when the table is warm);
+// cold or out-of-range cases pay one plain Exp plus one ToMont. The token
+// applier uses this to keep whole batches in the domain.
+func ExpCachedMont(ctx *MontCtx, s *MontScratch, base, exp, n *big.Int) []big.Word {
+	if base.Sign() > 0 && base.Cmp(n) < 0 {
+		t, e := fbAcquire(base, n)
+		if e != nil {
+			t = newFBTable(base, n, n.BitLen())
+			fbPublish(e, t)
+		}
+		// Residues are interchangeable between contexts over the same
+		// modulus (the domain is determined by n alone), so compare
+		// values, not pointers — a context-cache flush between the
+		// table build and this call must not disable the fast path.
+		if t != nil && t.mctx != nil && t.mctx.n.Cmp(ctx.n) == 0 && exp.BitLen() <= t.bits {
+			return t.expMont(exp, s)
+		}
+	}
+	return ctx.ToMont(s, new(big.Int).Exp(base, exp, n))
 }
 
 // FixedBaseCacheReset clears the table cache (tests and memory-pressure

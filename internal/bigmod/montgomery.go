@@ -1,0 +1,387 @@
+package bigmod
+
+import (
+	"math/big"
+	"math/bits"
+	"sync"
+)
+
+// Montgomery-form modular arithmetic.
+//
+// Every secure operator bottoms out in modular multiplication, and the
+// warm path (fixed-base comb evaluation, token application) pays
+// big.Int.Mod's full trial division after each multiply. Montgomery REDC
+// replaces that division with two half-width multiplications over raw
+// limbs: for an odd modulus n of k words and R = 2^(k·W), a value x is
+// represented as x·R mod n, and REDC(t) = t·R⁻¹ mod n costs 2k² word
+// multiply-adds with no quotient estimation and no allocation.
+//
+// The representation trick the hot paths lean on: montMul(a, b) computes
+// a·b·R⁻¹, so multiplying one MONTGOMERY-form operand by one NORMAL-form
+// operand yields a NORMAL-form product in a single REDC — cheaper than
+// big.Int Mul+Mod. The fixed-base comb tables store their entries in the
+// Montgomery domain (fixedbase.go) and the token applier pre-converts the
+// token's P once per batch (internal/secure), so the per-row work is pure
+// REDC.
+//
+// A MontCtx is immutable once built and cached per modulus; concurrent
+// users share the ctx and bring their own MontScratch.
+
+// montWordBits is the word width REDC operates in (the big.Word width).
+const montWordBits = bits.UintSize
+
+// MontCtx holds the precomputed per-modulus constants for REDC
+// arithmetic: the modulus limbs, -n⁻¹ mod 2^W, and the residues R mod n
+// and R² mod n. It is immutable and safe for concurrent use.
+type MontCtx struct {
+	n     *big.Int
+	nw    []big.Word // modulus limbs, little-endian, length k
+	k     int
+	n0inv big.Word   // -n⁻¹ mod 2^W
+	one   []big.Word // R mod n (the Montgomery form of 1), k limbs
+	r2    []big.Word // R² mod n, k limbs (ToMont multiplier)
+}
+
+// MontScratch is the per-goroutine working memory for REDC operations
+// over one MontCtx. Contexts are shared; scratches must not be.
+type MontScratch struct {
+	t []big.Word // 2k-limb REDC accumulator
+	// Hybrid-path big.Int shells: xi/yi alias the operand limbs
+	// (read-only), prod owns the product buffer and reuses it across
+	// calls, so wide multiplies run on math/big's assembly kernels with
+	// no steady-state allocation.
+	xi, yi, prod big.Int
+}
+
+// montHybridWords is the limb count above which mulTo switches from
+// interleaved pure-Go CIOS to the hybrid form: full product via
+// big.Int.Mul (assembly vector kernels) followed by a separate pure-Go
+// Montgomery reduction. For small moduli the interleaved loop wins on
+// overhead; for wide ones the assembly multiply dominates. Tuned on the
+// benchmark container (see EXPERIMENTS.md).
+const montHybridWords = 16
+
+// montCache memoises contexts per modulus. Moduli are few (one per
+// deployment, one per test Setup); the bound only guards pathological
+// churn, and a flush loses nothing but rebuild cost.
+var (
+	montMu       sync.Mutex
+	montCtxs     = map[string]*MontCtx{}
+	montCacheMax = 64
+)
+
+// MontCtxFor returns the cached Montgomery context for n, or nil when n
+// does not support one (n must be odd and at least 3; even moduli fall
+// back to plain big.Int arithmetic everywhere).
+func MontCtxFor(n *big.Int) *MontCtx {
+	if n == nil || n.Sign() <= 0 || n.Bit(0) == 0 || n.BitLen() < 2 {
+		return nil
+	}
+	key := string(n.Bytes())
+	montMu.Lock()
+	defer montMu.Unlock()
+	if m, ok := montCtxs[key]; ok {
+		return m
+	}
+	m := newMontCtx(n)
+	if len(montCtxs) >= montCacheMax {
+		montCtxs = map[string]*MontCtx{}
+	}
+	montCtxs[key] = m
+	return m
+}
+
+func newMontCtx(n *big.Int) *MontCtx {
+	nw := n.Bits()
+	k := len(nw)
+	m := &MontCtx{
+		n:  new(big.Int).Set(n),
+		nw: append([]big.Word(nil), nw...),
+		k:  k,
+	}
+	// n0inv = -n⁻¹ mod 2^W by Newton iteration: for odd v, x = v is the
+	// inverse mod 8, and x ← x·(2 − v·x) doubles the correct low bits.
+	v := uint(nw[0])
+	x := v
+	for i := 0; i < 5; i++ {
+		x *= 2 - v*x
+	}
+	m.n0inv = big.Word(-x)
+	// R mod n and R² mod n via big.Int (setup cost, not hot).
+	r := new(big.Int).Lsh(one, uint(k*montWordBits))
+	rMod := new(big.Int).Mod(r, n)
+	r2 := new(big.Int).Mul(rMod, rMod)
+	r2.Mod(r2, n)
+	m.one = m.padded(rMod)
+	m.r2 = m.padded(r2)
+	return m
+}
+
+// padded returns v's limbs little-endian, zero-padded to k words. v must
+// be in [0, n).
+func (m *MontCtx) padded(v *big.Int) []big.Word {
+	z := make([]big.Word, m.k)
+	copy(z, v.Bits())
+	return z
+}
+
+// N returns the modulus.
+func (m *MontCtx) N() *big.Int { return m.n }
+
+// Words returns k, the limb length of every residue of this context.
+func (m *MontCtx) Words() int { return m.k }
+
+// NewScratch allocates working memory for REDC operations on this
+// context. One scratch per goroutine.
+func (m *MontCtx) NewScratch() *MontScratch {
+	return &MontScratch{t: make([]big.Word, 2*m.k)}
+}
+
+// One returns a fresh copy of the Montgomery form of 1 (R mod n).
+func (m *MontCtx) One() []big.Word {
+	return append([]big.Word(nil), m.one...)
+}
+
+// addMulVVW computes z += x·y for a single word y, returning the carry.
+// z and x have equal length. The per-step sum x[i]·y + z[i] + c is at
+// most (2^W−1)² + 2(2^W−1) = 2^2W − 1, so the high word cannot overflow.
+func addMulVVW(z, x []big.Word, y big.Word) (c big.Word) {
+	for i := range x {
+		hi, lo := bits.Mul(uint(x[i]), uint(y))
+		lo, cc := bits.Add(lo, uint(z[i]), 0)
+		hi += cc
+		lo, cc = bits.Add(lo, uint(c), 0)
+		hi += cc
+		z[i] = big.Word(lo)
+		c = big.Word(hi)
+	}
+	return c
+}
+
+// subVV computes z = x − y over equal-length limbs, returning the borrow.
+func subVV(z, x, y []big.Word) big.Word {
+	var b uint
+	for i := range x {
+		d, bb := bits.Sub(uint(x[i]), uint(y[i]), b)
+		z[i] = big.Word(d)
+		b = bb
+	}
+	return big.Word(b)
+}
+
+// cmpVV compares equal-length limb vectors: -1, 0, +1.
+func cmpVV(x, y []big.Word) int {
+	for i := len(x) - 1; i >= 0; i-- {
+		switch {
+		case x[i] < y[i]:
+			return -1
+		case x[i] > y[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// mulTo is the CIOS Montgomery multiplication core: z = x·y·R⁻¹ mod n.
+// x must be exactly k limbs with value < n; y is little-endian with any
+// length ≤ k and value < n; z is k limbs and may alias x or y (the
+// accumulator lives in s.t until the final writeback). The result is
+// fully reduced (< n): with both inputs < n the pre-reduction value is
+// (x·y + q·n)/R < 2n, so one conditional subtraction suffices.
+func (m *MontCtx) mulTo(s *MontScratch, z, x []big.Word, y []big.Word) {
+	k := m.k
+	if k >= montHybridWords {
+		m.mulToHybrid(s, z, x, y)
+		return
+	}
+	t := s.t[:2*k]
+	for i := range t {
+		t[i] = 0
+	}
+	var c big.Word
+	for i := 0; i < k; i++ {
+		var d big.Word
+		if i < len(y) {
+			d = y[i]
+		}
+		c2 := addMulVVW(t[i:i+k], x, d)
+		u := t[i] * m.n0inv
+		c3 := addMulVVW(t[i:i+k], m.nw, u)
+		cx := c + c2
+		cy := cx + c3
+		t[i+k] = cy
+		if cx < c2 || cy < c3 {
+			c = 1
+		} else {
+			c = 0
+		}
+	}
+	// Value = c·2^(kW) + t[k:2k] < 2n. The borrow of the truncated
+	// subtraction cancels the carry, so the k-limb result is exact.
+	if c != 0 || cmpVV(t[k:2*k], m.nw) >= 0 {
+		subVV(z, t[k:2*k], m.nw)
+	} else {
+		copy(z, t[k:2*k])
+	}
+}
+
+// mulToHybrid is the wide-modulus form of mulTo: the 2k-limb product
+// comes from big.Int.Mul (math/big's assembly kernels), and only the
+// Montgomery reduction — the part that replaces trial division — runs as
+// a pure-Go limb loop. Same contract and bounds as the CIOS form.
+func (m *MontCtx) mulToHybrid(s *MontScratch, z, x []big.Word, y []big.Word) {
+	k := m.k
+	// SetBits aliases the operand limbs read-only; prod reuses its own
+	// buffer across calls.
+	s.xi.SetBits(x)
+	s.yi.SetBits(y)
+	s.prod.Mul(&s.xi, &s.yi)
+	pb := s.prod.Bits()
+	t := s.t[:2*k]
+	copy(t, pb)
+	for i := len(pb); i < 2*k; i++ {
+		t[i] = 0
+	}
+	// Reduction: clear t word by word; each round's carry lands at
+	// t[i+k] and propagates only as far as it actually carries. The
+	// pre-reduction value is < n² + R·n < 2·R·n, so the word above
+	// t[2k-1] is at most 1 (tracked in extra).
+	var extra big.Word
+	for i := 0; i < k; i++ {
+		u := t[i] * m.n0inv
+		c := addMulVVW(t[i:i+k], m.nw, u)
+		for j := i + k; c != 0; j++ {
+			if j == 2*k {
+				extra += c
+				break
+			}
+			sum, cc := bits.Add(uint(t[j]), uint(c), 0)
+			t[j] = big.Word(sum)
+			c = big.Word(cc)
+		}
+	}
+	if extra != 0 || cmpVV(t[k:2*k], m.nw) >= 0 {
+		subVV(z, t[k:2*k], m.nw)
+	} else {
+		copy(z, t[k:2*k])
+	}
+}
+
+// MulTo computes z = x ⊙ y (one REDC): both operands in the Montgomery
+// domain yields a Montgomery-domain product; one Montgomery-domain and
+// one normal-domain operand yields a NORMAL-domain product. x must be k
+// limbs; y any length ≤ k; z k limbs, aliasing allowed.
+func (m *MontCtx) MulTo(s *MontScratch, z, x, y []big.Word) {
+	m.mulTo(s, z, x, y)
+}
+
+// reducedBits returns v as limbs with value < n, reducing only when
+// needed (stored shares and token material are already reduced).
+func (m *MontCtx) reducedBits(v *big.Int) []big.Word {
+	if v.Sign() < 0 || v.Cmp(m.n) >= 0 {
+		return new(big.Int).Mod(v, m.n).Bits()
+	}
+	return v.Bits()
+}
+
+// MulBig computes z = x ⊙ v where v is a normal-domain big.Int (reduced
+// mod n as needed). With x in the Montgomery domain the result is the
+// normal-domain product x·v — the single-REDC asymmetric multiply.
+func (m *MontCtx) MulBig(s *MontScratch, z, x []big.Word, v *big.Int) {
+	m.mulTo(s, z, x, m.reducedBits(v))
+}
+
+// ToMont converts a normal-domain value into a fresh Montgomery residue:
+// v·R mod n = REDC(v · R²).
+func (m *MontCtx) ToMont(s *MontScratch, v *big.Int) []big.Word {
+	z := make([]big.Word, m.k)
+	m.mulTo(s, z, m.r2, m.reducedBits(v))
+	return z
+}
+
+// FromMont converts a Montgomery residue back to a normal-domain
+// big.Int: REDC(x · 1) = x·R⁻¹ mod n.
+func (m *MontCtx) FromMont(s *MontScratch, x []big.Word) *big.Int {
+	z := make([]big.Word, m.k)
+	m.mulTo(s, z, x, []big.Word{1})
+	return new(big.Int).SetBits(z)
+}
+
+// MontMul returns a·b mod n through a Montgomery round trip (two REDCs,
+// no division). Semantics match Mul.
+func (m *MontCtx) MontMul(a, b *big.Int) *big.Int {
+	s := m.NewScratch()
+	aM := m.ToMont(s, a)
+	m.MulBig(s, aM, aM, b)
+	return new(big.Int).SetBits(aM)
+}
+
+// MontExp returns base^exp mod n by 4-bit-window square-and-multiply in
+// the Montgomery domain. Semantics match big.Int.Exp, including negative
+// exponents (the inverse of base^|exp|, or nil when base is not
+// invertible modulo n).
+func (m *MontCtx) MontExp(base, exp *big.Int) *big.Int {
+	if exp.Sign() < 0 {
+		r := m.MontExp(base, new(big.Int).Neg(exp))
+		return r.ModInverse(r, m.n)
+	}
+	s := m.NewScratch()
+	// table[d] = base^(d+1) in the Montgomery domain.
+	var table [15][]big.Word
+	table[0] = m.ToMont(s, base)
+	for d := 1; d < len(table); d++ {
+		table[d] = make([]big.Word, m.k)
+		m.mulTo(s, table[d], table[d-1], table[0])
+	}
+	acc := m.One()
+	for i := (exp.BitLen() + 3) / 4; i > 0; i-- {
+		if i != (exp.BitLen()+3)/4 {
+			for j := 0; j < 4; j++ {
+				m.mulTo(s, acc, acc, acc)
+			}
+		}
+		d := 0
+		for j := 0; j < 4; j++ {
+			b := 4*(i-1) + j
+			d |= int(exp.Bit(b)) << j
+		}
+		if d != 0 {
+			m.mulTo(s, acc, acc, table[d-1])
+		}
+	}
+	return m.FromMont(s, acc)
+}
+
+// BatchInv inverts every element of xs modulo n with Montgomery's batch
+// trick: one ModInverse plus three multiplications per element, instead
+// of one ModInverse each. It returns ErrNotInvertible (wrapped) if any
+// element shares a factor with n — the same failure the scalar Inv path
+// reports — without identifying which element. Inputs are not modified.
+func BatchInv(xs []*big.Int, n *big.Int) ([]*big.Int, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	// prefix[i] = xs[0]·…·xs[i-1] mod n (prefix[0] = 1).
+	prefix := make([]*big.Int, len(xs)+1)
+	prefix[0] = big.NewInt(1)
+	for i, x := range xs {
+		prefix[i+1] = Mul(prefix[i], x, n)
+	}
+	acc, err := Inv(prefix[len(xs)], n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, len(xs))
+	for i := len(xs) - 1; i >= 0; i-- {
+		out[i] = Mul(acc, prefix[i], n)
+		acc = Mul(acc, xs[i], n)
+	}
+	return out, nil
+}
+
+// MontCacheReset clears the per-modulus context cache (tests).
+func MontCacheReset() {
+	montMu.Lock()
+	defer montMu.Unlock()
+	montCtxs = map[string]*MontCtx{}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"sdb/internal/parallel"
+	"sdb/internal/secure"
 	"sdb/internal/sqlparser"
 	"sdb/internal/storage"
 	"sdb/internal/types"
@@ -344,8 +345,14 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	type setOp struct {
 		colIdx int
 		expr   compiledExpr
+		// batch, when non-nil, routes the clause through
+		// TokenApplier.ApplyBatch per chunk — one shared Montgomery
+		// scratch and (for negative-Q rotation tokens) ONE modular
+		// inversion per chunk instead of one per row.
+		batch *batchKeyUpdate
 	}
 	var sets []setOp
+	hasBatch := false
 	for _, set := range s.Set {
 		idx := t.Schema.Find(set.Column)
 		if idx < 0 {
@@ -355,7 +362,9 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sets = append(sets, setOp{colIdx: idx, expr: ce})
+		b := batchableKeyUpdate(set.Expr, rel, ctx)
+		hasBatch = hasBatch || b != nil
+		sets = append(sets, setOp{colIdx: idx, expr: ce, batch: b})
 	}
 	var where compiledExpr
 	if s.Where != nil {
@@ -379,6 +388,10 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	// what makes server-side key rotation scale with cores.
 	var updated atomic.Int64
 	err = e.pool.ForEachChunk(len(rel.rows), func(_, lo, hi int) error {
+		var pass []int
+		if hasBatch {
+			pass = make([]int, 0, hi-lo)
+		}
 		for i := lo; i < hi; i++ {
 			row := rel.rows[i]
 			if where != nil {
@@ -390,7 +403,13 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 					continue
 				}
 			}
+			if hasBatch {
+				pass = append(pass, i)
+			}
 			for _, set := range sets {
+				if set.batch != nil {
+					continue
+				}
 				v, err := set.expr(row)
 				if err != nil {
 					return err
@@ -402,6 +421,38 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 				newCols[set.colIdx][i] = v
 			}
 			updated.Add(1)
+		}
+		// Batchable clauses (the rotation shape) transform the chunk's
+		// surviving rows in one ApplyBatch call each.
+		for _, set := range sets {
+			if set.batch == nil {
+				continue
+			}
+			b := set.batch
+			ves := make([]*big.Int, len(pass))
+			ws := make([]*big.Int, len(pass))
+			for j, i := range pass {
+				ve, w := rel.rows[i][b.veIdx], rel.rows[i][b.wIdx]
+				if ve.K != types.KindShare {
+					return fmt.Errorf("engine: sdb_keyupdate arg 1 must be a share, got %s", ve.K)
+				}
+				if w.K != types.KindShare {
+					return fmt.Errorf("engine: sdb_keyupdate arg 2 must be a share, got %s", w.K)
+				}
+				ves[j], ws[j] = ve.B, w.B
+			}
+			outs, err := b.applier.ApplyBatch(ves, ws)
+			if err != nil {
+				return fmt.Errorf("engine: sdb_keyupdate: %w", err)
+			}
+			col := t.Schema.Columns[set.colIdx]
+			for j, i := range pass {
+				v, err := coerceForColumn(types.NewShare(outs[j]), col)
+				if err != nil {
+					return fmt.Errorf("engine: column %q: %w", col.Name, err)
+				}
+				newCols[set.colIdx][i] = v
+			}
 		}
 		return nil
 	})
@@ -426,6 +477,46 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 		Columns: []ResultColumn{{Name: "updated", Kind: types.KindInt}},
 		Rows:    []types.Row{{types.NewInt(updated.Load())}},
 	}, nil
+}
+
+// batchKeyUpdate is the recognized rotation shape
+// SET col = sdb_keyupdate(ColRef, ColRef, const, const, const): share and
+// helper come straight from table columns, token material is constant for
+// the statement.
+type batchKeyUpdate struct {
+	veIdx, wIdx int
+	applier     *secure.TokenApplier
+}
+
+// batchableKeyUpdate recognizes the rotation shape (the proxy's
+// RotateColumn/RotateMask emit exactly it) and hoists the token into a
+// statement-wide applier; nil keeps the general per-row path.
+func batchableKeyUpdate(ex sqlparser.Expr, rel *relation, ctx *evalCtx) *batchKeyUpdate {
+	x, ok := ex.(*sqlparser.FuncCall)
+	if !ok || !strings.EqualFold(x.Name, "sdb_keyupdate") || len(x.Args) != 5 {
+		return nil
+	}
+	veRef, ok := x.Args[0].(sqlparser.ColRef)
+	if !ok {
+		return nil
+	}
+	wRef, ok := x.Args[1].(sqlparser.ColRef)
+	if !ok {
+		return nil
+	}
+	veIdx, err := rel.resolve(veRef.Table, veRef.Name)
+	if err != nil {
+		return nil
+	}
+	wIdx, err := rel.resolve(wRef.Table, wRef.Name)
+	if err != nil {
+		return nil
+	}
+	a := constTokenApplier(x, 2, false, ctx)
+	if a == nil {
+		return nil
+	}
+	return &batchKeyUpdate{veIdx: veIdx, wIdx: wIdx, applier: a}
 }
 
 // updateIsRotation reports whether an UPDATE applies a key-rotation token

@@ -541,6 +541,27 @@ func compileFunc(x *sqlparser.FuncCall, rel *relation, ctx *evalCtx) (compiledEx
 		if err := need(5); err != nil {
 			return nil, err
 		}
+		if a := constTokenApplier(x, 2, false, ctx); a != nil {
+			// The rewriter always emits p/q/n as hex literals, so the
+			// common case hoists all per-token work (Montgomery context,
+			// ToMont(P), |Q|) out of the per-row loop. The applier is
+			// shared by every parallel chunk worker of the statement.
+			return func(row types.Row) (types.Value, error) {
+				ve, err := shareArg(row, 0)
+				if err != nil {
+					return types.Null, err
+				}
+				w, err := shareArg(row, 1)
+				if err != nil {
+					return types.Null, err
+				}
+				out, err := a.Apply(ve, w)
+				if err != nil {
+					return types.Null, fmt.Errorf("engine: %s: %w", x.Name, err)
+				}
+				return types.NewShare(out), nil
+			}, nil
+		}
 		return func(row types.Row) (types.Value, error) {
 			ve, err := shareArg(row, 0)
 			if err != nil {
@@ -563,13 +584,30 @@ func compileFunc(x *sqlparser.FuncCall, rel *relation, ctx *evalCtx) (compiledEx
 				return types.Null, err
 			}
 			tok := secure.Token{P: p, Q: q}
-			return types.NewShare(secure.ApplyToken(tok, ve, w, n)), nil
+			out := secure.ApplyToken(tok, ve, w, n)
+			if out == nil {
+				return types.Null, fmt.Errorf("engine: %s: helper not invertible", x.Name)
+			}
+			return types.NewShare(out), nil
 		}, nil
 
 	case "sdb_const":
 		// sdb_const(w, p, q, n): materialise a share of a constant.
 		if err := need(4); err != nil {
 			return nil, err
+		}
+		if a := constTokenApplier(x, 1, true, ctx); a != nil {
+			return func(row types.Row) (types.Value, error) {
+				w, err := shareArg(row, 0)
+				if err != nil {
+					return types.Null, err
+				}
+				out, err := a.Apply(nil, w)
+				if err != nil {
+					return types.Null, fmt.Errorf("engine: %s: %w", x.Name, err)
+				}
+				return types.NewShare(out), nil
+			}, nil
 		}
 		return func(row types.Row) (types.Value, error) {
 			w, err := shareArg(row, 0)
@@ -589,7 +627,11 @@ func compileFunc(x *sqlparser.FuncCall, rel *relation, ctx *evalCtx) (compiledEx
 				return types.Null, err
 			}
 			tok := secure.Token{P: p, Q: q, Base: true}
-			return types.NewShare(secure.ApplyToken(tok, nil, w, n)), nil
+			out := secure.ApplyToken(tok, nil, w, n)
+			if out == nil {
+				return types.Null, fmt.Errorf("engine: %s: helper not invertible", x.Name)
+			}
+			return types.NewShare(out), nil
 		}, nil
 
 	case "sdb_sign":
@@ -598,6 +640,24 @@ func compileFunc(x *sqlparser.FuncCall, rel *relation, ctx *evalCtx) (compiledEx
 		// plaintext output.
 		if err := need(5); err != nil {
 			return nil, err
+		}
+		if a := constTokenApplier(x, 2, false, ctx); a != nil {
+			half := new(big.Int).Rsh(a.N(), 1)
+			return func(row types.Row) (types.Value, error) {
+				ve, err := shareArg(row, 0)
+				if err != nil {
+					return types.Null, err
+				}
+				w, err := shareArg(row, 1)
+				if err != nil {
+					return types.Null, err
+				}
+				revealed, err := a.Apply(ve, w)
+				if err != nil {
+					return types.Null, fmt.Errorf("engine: %s: %w", x.Name, err)
+				}
+				return types.NewInt(int64(secure.MaskedSign(revealed, half))), nil
+			}, nil
 		}
 		return func(row types.Row) (types.Value, error) {
 			ve, err := shareArg(row, 0)
@@ -622,6 +682,9 @@ func compileFunc(x *sqlparser.FuncCall, rel *relation, ctx *evalCtx) (compiledEx
 			}
 			tok := secure.Token{P: p, Q: q}
 			revealed := secure.ApplyToken(tok, ve, w, n)
+			if revealed == nil {
+				return types.Null, fmt.Errorf("engine: %s: helper not invertible", x.Name)
+			}
 			half := new(big.Int).Rsh(n, 1)
 			return types.NewInt(int64(secure.MaskedSign(revealed, half))), nil
 		}, nil
@@ -689,6 +752,27 @@ func compileFunc(x *sqlparser.FuncCall, rel *relation, ctx *evalCtx) (compiledEx
 	default:
 		return nil, fmt.Errorf("engine: unknown function %q", x.Name)
 	}
+}
+
+// constTokenApplier hoists a secure token whose p/q/n trail a UDF call as
+// constant expressions (argument positions from, from+1, from+2) into a
+// per-statement secure.TokenApplier. The rewriter always emits token
+// material as hex literals, so this covers every proxy-generated query;
+// nil means some argument is row-dependent (or not a share, or the
+// modulus is degenerate) and the caller keeps its per-row path.
+func constTokenApplier(x *sqlparser.FuncCall, from int, base bool, ctx *evalCtx) *secure.TokenApplier {
+	var vals [3]*big.Int
+	for i := range vals {
+		v, err := evalConst(x.Args[from+i], ctx)
+		if err != nil || v.K != types.KindShare {
+			return nil
+		}
+		vals[i] = v.B
+	}
+	if vals[2].Sign() <= 0 {
+		return nil
+	}
+	return secure.NewTokenApplier(secure.Token{P: vals[0], Q: vals[1], Base: base}, vals[2])
 }
 
 // evalConst evaluates an expression with no column references.

@@ -92,9 +92,15 @@ func (p *Proxy) decryptRow(srvRow types.Row, plan *selectPlan) (types.Row, error
 			if v.K != types.KindShare {
 				return nil, fmt.Errorf("proxy: column %q: expected share, got %s", oc.name, v.K)
 			}
-			d, err := p.secret.DecryptFlat(v.B, oc.flatKey)
-			if err != nil {
-				return nil, err
+			var d *big.Int
+			if oc.flatDec != nil {
+				// Pre-converted Montgomery decryptor: one REDC per row.
+				d = oc.flatDec.Decrypt(v.B)
+			} else {
+				var err error
+				if d, err = p.secret.DecryptFlat(v.B, oc.flatKey); err != nil {
+					return nil, err
+				}
 			}
 			pv, err := toValue(d, oc.kind)
 			if err != nil {
@@ -153,9 +159,14 @@ func (p *Proxy) decryptRow(srvRow types.Row, plan *selectPlan) (types.Row, error
 				row[c] = types.Null
 				continue
 			}
-			sum, err := p.secret.DecryptFlat(v.B, oc.flatKey)
-			if err != nil {
-				return nil, err
+			var sum *big.Int
+			if oc.flatDec != nil {
+				sum = oc.flatDec.Decrypt(v.B)
+			} else {
+				var err error
+				if sum, err = p.secret.DecryptFlat(v.B, oc.flatKey); err != nil {
+					return nil, err
+				}
 			}
 			cnt := srvRow[oc.cntIdx]
 			if cnt.IsNull() || cnt.I == 0 {

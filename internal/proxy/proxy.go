@@ -318,12 +318,15 @@ func (p *Proxy) execInsert(ctx context.Context, s *sqlparser.Insert, st Stats) (
 	// Upload-side encryption is the INSERT hot path (one share per
 	// sensitive value plus mask, row id and helper per row, all modular
 	// exponentiations); rows are independent, so they encrypt in parallel
-	// chunks on the proxy's pool.
-	encRows, err := parallel.Map(p.pool, len(s.Rows), func(i int) ([]sqlparser.Expr, error) {
+	// chunks on the proxy's pool, and each chunk mints all its shares
+	// through secure.EncryptBatch — the per-share item-key inversions
+	// collapse to one ModInverse per chunk.
+	encRows := make([][]sqlparser.Expr, len(s.Rows))
+	err = p.pool.ForEachChunk(len(s.Rows), func(_, lo, hi int) error {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		return p.encryptInsertRow(meta, s.Table, names, s.Rows[i], hasSensitive)
+		return p.encryptInsertChunk(meta, s.Table, names, s.Rows[lo:hi], encRows[lo:hi], hasSensitive)
 	})
 	if err != nil {
 		return nil, err
@@ -344,60 +347,79 @@ func (p *Proxy) execInsert(ctx context.Context, s *sqlparser.Insert, st Stats) (
 	return &Result{Stats: st}, nil
 }
 
-// encryptInsertRow rewrites one INSERT row: sensitive values become
-// encrypted shares under a fresh row id, and the hidden mask, encrypted
-// row id and row helper are appended. It is called concurrently by
-// execInsert's chunks; everything it touches on the proxy (scheme secret,
-// key store metadata, SIES cipher) is read-only or internally atomic.
-func (p *Proxy) encryptInsertRow(meta *TableMeta, table string, names []string, row []sqlparser.Expr, hasSensitive bool) ([]sqlparser.Expr, error) {
-	if len(row) != len(names) {
-		return nil, fmt.Errorf("proxy: INSERT arity %d != %d columns", len(row), len(names))
+// encryptInsertChunk rewrites a chunk of INSERT rows: sensitive values
+// become encrypted shares under fresh row ids, and the hidden mask,
+// encrypted row id and row helper are appended per row. It is called
+// concurrently by execInsert's chunks; everything it touches on the proxy
+// (scheme secret, key store metadata, SIES cipher) is read-only or
+// internally atomic. All of the chunk's shares — values and masks alike —
+// are minted in one secure.EncryptBatch call, so the chunk pays a single
+// modular inversion however many shares it produces.
+func (p *Proxy) encryptInsertChunk(meta *TableMeta, table string, names []string, rows [][]sqlparser.Expr, out [][]sqlparser.Expr, hasSensitive bool) error {
+	type slot struct{ row, col int }
+	var reqs []secure.EncRequest
+	var slots []slot
+	for ri, row := range rows {
+		if len(row) != len(names) {
+			return fmt.Errorf("proxy: INSERT arity %d != %d columns", len(row), len(names))
+		}
+		rid, rowEnc, err := p.newRowID()
+		if err != nil {
+			return err
+		}
+		outRow := make([]sqlparser.Expr, 0, len(row)+3)
+		for i, ex := range row {
+			col, ok := meta.Column(names[i])
+			if !ok {
+				return fmt.Errorf("proxy: table %q has no column %q", table, names[i])
+			}
+			if !col.Type.Sensitive {
+				outRow = append(outRow, ex)
+				continue
+			}
+			v, err := engine.EvalConstExpr(ex)
+			if err != nil {
+				return err
+			}
+			plain, err := plainInt(v, col.Type)
+			if err != nil {
+				return fmt.Errorf("proxy: column %q: %w", col.Name, err)
+			}
+			ck := meta.Keys[strings.ToLower(col.Name)]
+			rq, err := p.secret.NewEncRequest(big.NewInt(plain), rid, ck)
+			if err != nil {
+				return err
+			}
+			slots = append(slots, slot{row: ri, col: len(outRow)})
+			reqs = append(reqs, rq)
+			outRow = append(outRow, nil) // patched after EncryptBatch
+		}
+		if hasSensitive {
+			mask, err := p.secret.NewMaskValue()
+			if err != nil {
+				return err
+			}
+			rq, err := p.secret.NewMaskEncRequest(mask, rid, meta.MaskKey)
+			if err != nil {
+				return err
+			}
+			slots = append(slots, slot{row: ri, col: len(outRow)})
+			reqs = append(reqs, rq)
+			outRow = append(outRow, nil,
+				sqlparser.HexLit{V: rowEnc},
+				sqlparser.HexLit{V: p.secret.RowHelper(rid)},
+			)
+		}
+		out[ri] = outRow
 	}
-	rid, rowEnc, err := p.newRowID()
+	shares, err := p.secret.EncryptBatch(reqs)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	outRow := make([]sqlparser.Expr, 0, len(row)+3)
-	for i, ex := range row {
-		col, ok := meta.Column(names[i])
-		if !ok {
-			return nil, fmt.Errorf("proxy: table %q has no column %q", table, names[i])
-		}
-		if !col.Type.Sensitive {
-			outRow = append(outRow, ex)
-			continue
-		}
-		v, err := engine.EvalConstExpr(ex)
-		if err != nil {
-			return nil, err
-		}
-		plain, err := plainInt(v, col.Type)
-		if err != nil {
-			return nil, fmt.Errorf("proxy: column %q: %w", col.Name, err)
-		}
-		ck := meta.Keys[strings.ToLower(col.Name)]
-		ve, err := p.secret.EncryptInt64(plain, rid, ck)
-		if err != nil {
-			return nil, err
-		}
-		outRow = append(outRow, sqlparser.HexLit{V: ve})
+	for i, sl := range slots {
+		out[sl.row][sl.col] = sqlparser.HexLit{V: shares[i]}
 	}
-	if hasSensitive {
-		mask, err := p.secret.NewMaskValue()
-		if err != nil {
-			return nil, err
-		}
-		me, err := p.secret.EncryptMask(mask, rid, meta.MaskKey)
-		if err != nil {
-			return nil, err
-		}
-		outRow = append(outRow,
-			sqlparser.HexLit{V: me},
-			sqlparser.HexLit{V: rowEnc},
-			sqlparser.HexLit{V: p.secret.RowHelper(rid)},
-		)
-	}
-	return outRow, nil
+	return nil
 }
 
 // newRowID draws a fresh row id and returns it along with its packed

@@ -36,7 +36,12 @@ type outCol struct {
 	factors []factor         // omRowKey
 	ridCols map[string]int   // alias -> server column index of its row_id
 	flatKey secure.ColumnKey // omFlat / omAvg (the SUM part)
-	cntIdx  int              // omAvg: server column index of COUNT
+	// flatDec carries flatKey's m pre-converted to the Montgomery domain
+	// (one REDC per row instead of Mul+Mod). Built once at rewrite time,
+	// shared read-only by every parallel decrypt worker and every cached
+	// reuse of the plan.
+	flatDec *secure.FlatDecryptor
+	cntIdx  int // omAvg: server column index of COUNT
 	hidden  bool
 }
 
@@ -126,6 +131,7 @@ func (rw *rewriter) rewriteSelect(s *sqlparser.Select, forSubquery bool) (*sqlpa
 				plan.out = append(plan.out, outCol{
 					name: name, kind: rv.kind, scale: rv.scale + 2,
 					mode: omAvg, flatKey: sumRV.enc.flatKey(), cntIdx: sumIdx + 1,
+					flatDec: rw.flatDecryptor(sumRV.enc.flatKey()),
 				})
 				plan.out = append(plan.out, outCol{name: "_cnt", kind: types.KindInt, mode: omPlain, hidden: true})
 				continue
@@ -154,6 +160,7 @@ func (rw *rewriter) rewriteSelect(s *sqlparser.Select, forSubquery bool) (*sqlpa
 			if rv.enc.isFlat() {
 				oc.mode = omFlat
 				oc.flatKey = rv.enc.flatKey()
+				oc.flatDec = rw.flatDecryptor(oc.flatKey)
 			} else {
 				oc.mode = omRowKey
 				oc.factors = rv.enc.factors
@@ -236,6 +243,7 @@ func (rw *rewriter) rewriteSelect(s *sqlparser.Select, forSubquery bool) (*sqlpa
 			if rv.enc.isFlat() {
 				oc.mode = omFlat
 				oc.flatKey = rv.enc.flatKey()
+				oc.flatDec = rw.flatDecryptor(oc.flatKey)
 			} else {
 				oc.mode = omRowKey
 				oc.factors = rv.enc.factors

@@ -1,0 +1,321 @@
+package secure
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"sdb/internal/bigmod"
+)
+
+// Batch token application.
+//
+// ApplyToken pays per row for work that is constant per token: reducing
+// and multiplying by P, and (for negative Q) a full ModInverse of the
+// helper power. A TokenApplier hoists the per-token work — the Montgomery
+// context, ToMont(P), |Q| and its sign — and applies the token to many
+// (ve, w) rows with:
+//
+//   - w^|Q| via the fixed-base comb evaluated entirely in the Montgomery
+//     domain (bigmod.ExpCachedMont), no conversions on the warm path;
+//   - the asymmetric Montgomery trick for the multiplies: montMul of a
+//     Montgomery-form operand by a normal-form operand yields the
+//     normal-form product in ONE REDC, so a non-Base row costs exactly
+//     two REDCs after the exponentiation (⊙ve, then ⊙P) and a Base row
+//     one, with zero trial divisions;
+//   - Montgomery's batch-inversion trick for negative Q: one ModInverse
+//     plus three REDCs per row instead of one ModInverse per row.
+//
+// An applier is immutable after construction and safe for concurrent use;
+// scratch memory comes from an internal pool, so the engine's parallel
+// chunk workers share one applier per compiled expression.
+
+// TokenApplier applies one fixed token to many (ve, w) pairs.
+type TokenApplier struct {
+	tok  Token
+	n    *big.Int
+	ctx  *bigmod.MontCtx // nil for even/degenerate moduli → scalar fallback
+	pM   []big.Word      // ToMont(P)
+	qAbs *big.Int        // |Q|
+	qNeg bool
+	pool sync.Pool // *applyScratch
+}
+
+type applyScratch struct {
+	ms   *bigmod.MontScratch
+	tmp  []big.Word // k limbs
+	tmp2 []big.Word // k limbs
+	buf  []big.Word // grown on demand (batch prefix products)
+}
+
+// NewTokenApplier hoists the per-token work for n. The token and modulus
+// are captured by value/reference and must not be mutated afterwards.
+func NewTokenApplier(t Token, n *big.Int) *TokenApplier {
+	a := &TokenApplier{tok: t.Clone(), n: n, qNeg: t.Q.Sign() < 0}
+	a.qAbs = a.tok.Q
+	if a.qNeg {
+		a.qAbs = new(big.Int).Neg(a.tok.Q)
+	}
+	if n != nil && n.Sign() > 0 {
+		a.ctx = bigmod.MontCtxFor(n)
+	}
+	if a.ctx != nil {
+		a.pM = a.ctx.ToMont(a.ctx.NewScratch(), t.P)
+	}
+	return a
+}
+
+// N returns the modulus the applier operates over.
+func (a *TokenApplier) N() *big.Int { return a.n }
+
+// Token returns (a copy of) the applier's token.
+func (a *TokenApplier) Token() Token { return a.tok.Clone() }
+
+func (a *TokenApplier) scratch() *applyScratch {
+	if s, ok := a.pool.Get().(*applyScratch); ok {
+		return s
+	}
+	k := a.ctx.Words()
+	return &applyScratch{
+		ms:   a.ctx.NewScratch(),
+		tmp:  make([]big.Word, k),
+		tmp2: make([]big.Word, k),
+	}
+}
+
+func (s *applyScratch) grow(k int) []big.Word {
+	if cap(s.buf) < k {
+		s.buf = make([]big.Word, k)
+	}
+	return s.buf[:k]
+}
+
+// errNotInvertible wraps the non-invertible-helper failure so batch and
+// scalar paths report the same error class.
+func errNotInvertible() error {
+	return fmt.Errorf("secure: helper not invertible under negative-exponent token: %w",
+		bigmod.ErrNotInvertible)
+}
+
+// finish computes the token output from yM = ToMont(w^Q) and ve, entirely
+// with asymmetric (one-REDC) multiplies. The result is normal-domain.
+func (a *TokenApplier) finish(s *applyScratch, yM []big.Word, ve *big.Int) *big.Int {
+	if a.tok.Base {
+		// out = P·y: yM ⊙ P with P normal-form leaves the product in
+		// the normal domain.
+		a.ctx.MulBig(s.ms, s.tmp, yM, a.tok.P)
+	} else {
+		// t = yM ⊙ ve = y·ve (normal); out = pM ⊙ t = P·y·ve (normal).
+		a.ctx.MulBig(s.ms, s.tmp, yM, ve)
+		a.ctx.MulTo(s.ms, s.tmp2, a.pM, s.tmp)
+		s.tmp, s.tmp2 = s.tmp2, s.tmp
+	}
+	out := new(big.Int).SetBits(append([]big.Word(nil), s.tmp...))
+	return out
+}
+
+// Apply transforms a single row: out = P·ve·w^Q mod n (P·w^Q for Base
+// tokens). It errors where ApplyToken returns nil (negative Q with a
+// non-invertible helper).
+func (a *TokenApplier) Apply(ve, w *big.Int) (*big.Int, error) {
+	if a.ctx == nil {
+		out := ApplyToken(a.tok, ve, w, a.n)
+		if out == nil {
+			return nil, errNotInvertible()
+		}
+		return out, nil
+	}
+	s := a.scratch()
+	defer a.pool.Put(s)
+	yM := bigmod.ExpCachedMont(a.ctx, s.ms, w, a.qAbs, a.n)
+	if a.qNeg {
+		y := a.ctx.FromMont(s.ms, yM)
+		if y.ModInverse(y, a.n) == nil {
+			return nil, errNotInvertible()
+		}
+		yM = a.ctx.ToMont(s.ms, y)
+	}
+	return a.finish(s, yM, ve), nil
+}
+
+// ApplyBatch transforms rows i ∈ [0, len(ws)): out[i] = P·ves[i]·ws[i]^Q
+// mod n. For Base tokens ves may be nil. Negative-Q tokens amortize the
+// helper inversions across the whole batch (one ModInverse total); if ANY
+// helper is non-invertible the batch errors, exactly as each scalar
+// application would.
+func (a *TokenApplier) ApplyBatch(ves, ws []*big.Int) ([]*big.Int, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	if !a.tok.Base && len(ves) != len(ws) {
+		return nil, fmt.Errorf("secure: batch length mismatch: %d shares, %d helpers", len(ves), len(ws))
+	}
+	out := make([]*big.Int, len(ws))
+	if a.ctx == nil {
+		for i, w := range ws {
+			var ve *big.Int
+			if !a.tok.Base {
+				ve = ves[i]
+			}
+			r := ApplyToken(a.tok, ve, w, a.n)
+			if r == nil {
+				return nil, errNotInvertible()
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	s := a.scratch()
+	defer a.pool.Put(s)
+	k := a.ctx.Words()
+	// Phase 1: yM[i] = ToMont(ws[i]^|Q|), comb-evaluated in-domain.
+	yMs := make([][]big.Word, len(ws))
+	for i, w := range ws {
+		yMs[i] = bigmod.ExpCachedMont(a.ctx, s.ms, w, a.qAbs, a.n)
+	}
+	if a.qNeg {
+		if err := a.batchInvMont(s, yMs, k); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: two one-REDC multiplies per row (one for Base tokens).
+	for i := range ws {
+		var ve *big.Int
+		if !a.tok.Base {
+			ve = ves[i]
+		}
+		out[i] = a.finish(s, yMs[i], ve)
+	}
+	return out, nil
+}
+
+// batchInvMont replaces each Montgomery residue yMs[i] with its modular
+// inverse (still in the domain) using Montgomery's batch trick run
+// entirely on REDC: prefix products in-domain, ONE ModInverse of the
+// total, then a backward sweep — 3 REDCs per element + 1 inversion,
+// versus one ModInverse per element on the scalar path.
+func (a *TokenApplier) batchInvMont(s *applyScratch, yMs [][]big.Word, k int) error {
+	n := len(yMs)
+	// prefix[i] = ToMont(y_0·…·y_{i-1}); prefix[0] = ToMont(1).
+	prefix := s.grow((n + 1) * k)
+	copy(prefix[:k], a.ctx.One())
+	for i := 0; i < n; i++ {
+		a.ctx.MulTo(s.ms, prefix[(i+1)*k:(i+2)*k], prefix[i*k:(i+1)*k], yMs[i])
+	}
+	total := a.ctx.FromMont(s.ms, prefix[n*k:(n+1)*k])
+	if total.ModInverse(total, a.n) == nil {
+		return errNotInvertible()
+	}
+	// accM = ToMont((y_i·…·y_{n-1})⁻¹), walking i downward:
+	// y_i⁻¹ = acc·prefix_i, then acc ← acc·y_i.
+	accM := a.ctx.ToMont(s.ms, total)
+	for i := n - 1; i >= 0; i-- {
+		a.ctx.MulTo(s.ms, s.tmp2, accM, yMs[i])
+		a.ctx.MulTo(s.ms, yMs[i], accM, prefix[i*k:(i+1)*k])
+		accM, s.tmp2 = s.tmp2, accM
+	}
+	return nil
+}
+
+// ApplyTokenBatch is the package-level batch entry point: it builds a
+// one-shot applier and transforms the whole column slice. Callers with a
+// long-lived token (compiled expressions, rotation statements) should
+// hold a TokenApplier instead to amortize the setup across chunks.
+func ApplyTokenBatch(t Token, ves, ws []*big.Int, n *big.Int) ([]*big.Int, error) {
+	return NewTokenApplier(t, n).ApplyBatch(ves, ws)
+}
+
+// EncRequest is one share to mint on the encrypt side: a domain-encoded
+// residue to divide by the item key of (Rid, Key). Batching requests lets
+// the proxy amortize the per-share ModInverse across an INSERT chunk.
+type EncRequest struct {
+	Enc *big.Int
+	Rid RowID
+	Key ColumnKey
+}
+
+// NewEncRequest builds the request encrypting signed value v (Def. 2
+// numerator, domain-encoded with the same bound check as Encrypt).
+func (s *Secret) NewEncRequest(v *big.Int, r RowID, ck ColumnKey) (EncRequest, error) {
+	enc, err := s.domain.Encode(v)
+	if err != nil {
+		return EncRequest{}, err
+	}
+	return EncRequest{Enc: enc, Rid: r, Key: ck}, nil
+}
+
+// NewMaskEncRequest builds the request encrypting a comparison mask,
+// with EncryptMask's bound check (masks bypass the signed domain).
+func (s *Secret) NewMaskEncRequest(mask *big.Int, r RowID, ck ColumnKey) (EncRequest, error) {
+	if mask.Sign() <= 0 || mask.Cmp(s.maskBound()) >= 0 {
+		return EncRequest{}, fmt.Errorf("secure: mask %s outside [1, 2^%d)", mask, s.maskWidth)
+	}
+	return EncRequest{Enc: mask, Rid: r, Key: ck}, nil
+}
+
+// EncryptBatch mints all requested shares with ONE modular inversion:
+// item keys are derived per request (through the fixed-base cache on g),
+// then inverted together with Montgomery's batch trick. Semantically
+// identical to calling Encrypt/EncryptMask per request; an error means
+// some item key shared a factor with n (degenerate column key), the same
+// condition the scalar paths report per share.
+func (s *Secret) EncryptBatch(reqs []EncRequest) ([]*big.Int, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	vks := make([]*big.Int, len(reqs))
+	for i, rq := range reqs {
+		vks[i] = s.ItemKey(rq.Rid, rq.Key)
+	}
+	invs, err := bigmod.BatchInv(vks, s.params.N)
+	if err != nil {
+		return nil, fmt.Errorf("secure: item key not invertible (degenerate column key?): %w", err)
+	}
+	out := make([]*big.Int, len(reqs))
+	for i, rq := range reqs {
+		out[i] = bigmod.Mul(rq.Enc, invs[i], s.params.N)
+	}
+	return out, nil
+}
+
+// FlatDecryptor decrypts shares under one flat key (x = 0) with the key's
+// m pre-converted to the Montgomery domain: each row is a single REDC
+// (asymmetric multiply) instead of a big.Int Mul+Mod. Immutable and safe
+// for concurrent use — the proxy caches one per output column in its
+// (shared, plan-cached) select plans.
+type FlatDecryptor struct {
+	domain *bigmod.Domain
+	n      *big.Int
+	ck     ColumnKey
+	ctx    *bigmod.MontCtx
+	mM     []big.Word // ToMont(ck.M)
+	pool   sync.Pool  // *bigmod.MontScratch
+}
+
+// NewFlatDecryptor precomputes the Montgomery form of ck.M. It errors on
+// non-flat keys, like DecryptFlat.
+func (s *Secret) NewFlatDecryptor(ck ColumnKey) (*FlatDecryptor, error) {
+	if ck.X.Sign() != 0 {
+		return nil, fmt.Errorf("secure: DecryptFlat needs a flat key, got x=%s", ck.X)
+	}
+	d := &FlatDecryptor{domain: s.domain, n: s.params.N, ck: ck, ctx: bigmod.MontCtxFor(s.params.N)}
+	if d.ctx != nil {
+		d.mM = d.ctx.ToMont(d.ctx.NewScratch(), ck.M)
+	}
+	return d, nil
+}
+
+// Decrypt decodes one flat share: Decode(ve·m mod n).
+func (d *FlatDecryptor) Decrypt(ve *big.Int) *big.Int {
+	if d.ctx == nil {
+		return d.domain.Decode(bigmod.Mul(ve, d.ck.M, d.n))
+	}
+	ms, ok := d.pool.Get().(*bigmod.MontScratch)
+	if !ok {
+		ms = d.ctx.NewScratch()
+	}
+	z := make([]big.Word, d.ctx.Words())
+	d.ctx.MulBig(ms, z, d.mM, ve)
+	d.pool.Put(ms)
+	return d.domain.Decode(new(big.Int).SetBits(z))
+}

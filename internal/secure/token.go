@@ -40,12 +40,16 @@ func (t Token) Clone() Token {
 	return Token{P: new(big.Int).Set(t.P), Q: new(big.Int).Set(t.Q), Base: t.Base}
 }
 
+// String renders the token WITHOUT its key material: P and Q are key
+// differences (e.g. m_A·m_C⁻¹ and x_A−x_C), so printing them into a log
+// or error message leaks exactly what a token is supposed to protect.
+// Only the kind and the component widths survive formatting.
 func (t Token) String() string {
 	kind := "update"
 	if t.Base {
 		kind = "const"
 	}
-	return fmt.Sprintf("token{%s p=%s q=%s}", kind, t.P, t.Q)
+	return fmt.Sprintf("token{%s p=<%d bits> q=<%d bits>}", kind, t.P.BitLen(), t.Q.BitLen())
 }
 
 // KeyUpdateToken builds the token transforming shares under from into
@@ -111,8 +115,14 @@ func (s *Secret) ConstShareToken(c *big.Int, ck ColumnKey) (Token, error) {
 // through the fixed-base cache: a row helper touched by several tokens in
 // one query, or re-touched across queries and rotations, stops paying full
 // square-and-multiply.
+// It returns nil when t.Q is negative and w is not invertible modulo n
+// (mirroring big.Int.Exp); stored helpers are always invertible, so a nil
+// here means corrupt or adversarial inputs.
 func ApplyToken(t Token, ve, w, n *big.Int) *big.Int {
 	out := bigmod.ExpCached(w, t.Q, n)
+	if out == nil {
+		return nil
+	}
 	out = bigmod.Mul(out, t.P, n)
 	if !t.Base {
 		out = bigmod.Mul(out, ve, n)

@@ -6,8 +6,11 @@
 # tests), a forced-tiny-budget spill regression pass, a planner-off
 # differential pass, a race-detected concurrent spill pass, a
 # race-detected crash-recovery/durability pass (kill-point differential
-# harness + SIGKILL subprocess test), and a short fuzz smoke over every
-# fuzz target (parser, proxy pipeline, wire encoding, WAL records).
+# harness + SIGKILL subprocess test), a race-detected Montgomery-core
+# pass (shared MontCtx / TokenApplier under concurrent workers), a
+# batch-vs-scalar token-application differential gate, and a short fuzz
+# smoke over every fuzz target (parser, proxy pipeline, wire encoding,
+# WAL records, Montgomery multiply/exponentiate vs math/big).
 #
 # Usage: scripts/ci.sh [-short]
 #   -short   skip the slow end-to-end suites (integration differential,
@@ -101,6 +104,14 @@ echo "== crash-recovery / durability suite under the race detector"
 # real interleavings.
 go test -race -count=1 ./internal/wal
 
+echo "== Montgomery core under the race detector"
+# The Montgomery arithmetic layer's concurrency tests: one shared MontCtx
+# driven by parallel goroutines with private scratch buffers, and one
+# shared secure.TokenApplier applying a token across concurrent worker
+# chunks — the exact sharing discipline the engine's chunked UPDATE path
+# and the proxy's parallel decrypt path rely on.
+go test -race ${SHORT_FLAG} -run Mont ./internal/bigmod ./internal/secure
+
 echo "== bench smoke (peak-resident-rows + spill-budget assertions)"
 # One iteration of the streaming-memory benchmarks: BenchmarkStreamScan
 # asserts scan batches stay within the pool bound and
@@ -109,8 +120,11 @@ echo "== bench smoke (peak-resident-rows + spill-budget assertions)"
 # (spill-off) and within the memory budget when forced to spill
 # (spill-on). All b.Fatal on violation, so this is a correctness gate,
 # not a measurement. BenchmarkPlanCache/warm additionally b.Fatals if the
-# proxy's plan cache records zero hits for a repeated statement.
-go test -run=NONE -bench='StreamScan|PlanCache' -benchtime=1x .
+# proxy's plan cache records zero hits for a repeated statement, and
+# BenchmarkApplyTokenBatch b.Fatals unless the batch-amortized Montgomery
+# token path produces shares identical to the scalar ApplyToken loop
+# (both Q signs, all modulus widths).
+go test -run=NONE -bench='StreamScan|PlanCache|ApplyTokenBatch' -benchtime=1x .
 
 if [[ -z "${SHORT_FLAG}" ]]; then
   echo "== fuzz smoke (10s per target)"
@@ -119,6 +133,8 @@ if [[ -z "${SHORT_FLAG}" ]]; then
   go test -run xxx -fuzz FuzzExecSelect -fuzztime 10s ./internal/proxy
   go test -run xxx -fuzz FuzzValueRoundTrip -fuzztime 10s ./internal/wire
   go test -run xxx -fuzz FuzzWALRecordRoundTrip -fuzztime 10s ./internal/wal
+  go test -run xxx -fuzz FuzzMontMulVsBigInt -fuzztime 10s ./internal/bigmod
+  go test -run xxx -fuzz FuzzMontExpVsBigInt -fuzztime 10s ./internal/bigmod
 fi
 
 echo "CI OK"
