@@ -6,6 +6,7 @@
 //	sdb-bench -exp shipall  -sf 0.001  # E7: SDB vs ship-everything
 //	sdb-bench -exp tpch     -sf 0.001  # E9: TPC-H latency vs plaintext
 //	sdb-bench -exp ops -bits 2048      # E5/E6: per-operator costs
+//	sdb-bench -exp concurrent -clients 128  # E10: many drivers, one server
 package main
 
 import (
@@ -15,6 +16,9 @@ import (
 	"log"
 	"math/big"
 	"os"
+	"path/filepath"
+	"sort"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -23,6 +27,8 @@ import (
 	"sdb/internal/engine"
 	"sdb/internal/proxy"
 	"sdb/internal/secure"
+	"sdb/internal/server"
+	"sdb/internal/spill"
 	"sdb/internal/sqlparser"
 	"sdb/internal/storage"
 	"sdb/internal/tpch"
@@ -47,13 +53,16 @@ func (o execOpts) proxy() proxy.Options {
 }
 
 func main() {
-	exp := flag.String("exp", "coverage", "experiment: coverage|breakdown|shipall|tpch|ops")
+	exp := flag.String("exp", "coverage", "experiment: coverage|breakdown|shipall|tpch|ops|concurrent")
 	sf := flag.Float64("sf", 0.001, "TPC-H scale factor for data-driven experiments")
 	bits := flag.Int("bits", 512, "modulus width for ops experiment and deployments")
 	par := flag.Int("parallel", 0, "secure-operator worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	chunk := flag.Int("chunk", 0, "rows per evaluation chunk (0 = default 1024)")
 	memBudget := flag.Int("mem-budget", 0, "per-query resident-row budget; blocking operators spill past it (0 = SDB_MEM_BUDGET_ROWS or unlimited, <0 = unlimited)")
 	spillPar := flag.Int("spill-parallel", 0, "concurrent spilled-partition tasks per query (0 = SDB_SPILL_PARALLEL or -parallel, 1 = serial spill schedule)")
+	clients := flag.Int("clients", 64, "driver connections for the concurrent experiment")
+	queries := flag.Int("queries", 20, "SELECTs each driver runs in the concurrent experiment")
+	globalBudget := flag.Int("global-budget", 0, "server-wide resident-row pool for the concurrent experiment (0 = off)")
 	flag.Parse()
 	opts := execOpts{parallel: *par, chunk: *chunk, memBudget: *memBudget, spillPar: *spillPar}
 
@@ -68,6 +77,8 @@ func main() {
 		tpchExp(*sf, *bits, opts)
 	case "ops":
 		ops(*bits)
+	case "concurrent":
+		concurrent(*sf, *bits, *clients, *queries, *globalBudget, opts)
 	default:
 		log.Fatalf("sdb-bench: unknown experiment %q", *exp)
 	}
@@ -264,6 +275,125 @@ func tpchExp(sf float64, bits int, opts execOpts) {
 			float64(sdbTime)/float64(plainTime))
 	}
 	w.Flush()
+}
+
+// concurrent is E10: one TCP server, many independent drivers. A seed
+// proxy loads TPC-H and saves its key state; every driver then becomes a
+// real remote client — its own connection, its own proxy recovered from
+// the state file — and hammers one-shot SELECTs through the fused v2
+// path. The table sweeps driver counts up to -clients and reports
+// throughput, latency percentiles, and the round-trips-per-query the
+// fused op is supposed to pin at 1.
+func concurrent(sf float64, bits, maxClients, perClient, globalBudget int, opts execOpts) {
+	secret, err := secure.Setup(bits, secure.DefaultValueBits, secure.DefaultMaskBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engOpts := opts.engine()
+	if globalBudget > 0 {
+		engOpts.BudgetPool = spill.NewPool(globalBudget)
+	}
+	srv := server.NewWithOptions(secret.N(), engOpts)
+	defer srv.Close()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve()
+
+	// Seed through a remote proxy so the loaded data takes the same wire
+	// path the drivers will use, then persist the keys for them.
+	seedConn, err := server.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed, err := proxy.NewWithOptions(secret, seedConn, opts.proxy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ddl := range tpch.CreateStatements() {
+		if _, err := seed.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 42}, func(sql string) error {
+		_, err := seed.Exec(sql)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded TPC-H SF %g over TCP in %v (%d-bit modulus)\n", sf, time.Since(start).Round(time.Millisecond), bits)
+	statePath := filepath.Join(os.TempDir(), fmt.Sprintf("sdb-bench-state-%d.json", os.Getpid()))
+	if err := seed.SaveState(statePath); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(statePath)
+	seedConn.Close()
+
+	const q = `SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 30`
+	sweep := []int{1, 8, 32, maxClients}
+	w := tw()
+	fmt.Fprintln(w, "clients\tqueries\twall\tQPS\tavg\tp95\tRTs/query")
+	for _, n := range sweep {
+		if n > maxClients {
+			continue
+		}
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			lats []time.Duration
+			rts  int64
+		)
+		t0 := time.Now()
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn, err := server.Dial(addr.String())
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer conn.Close()
+				p, err := proxy.NewFromStateFile(statePath, conn, opts.proxy())
+				if err != nil {
+					log.Fatal(err)
+				}
+				mine := make([]time.Duration, 0, perClient)
+				base := conn.RoundTrips()
+				for i := 0; i < perClient; i++ {
+					tq := time.Now()
+					if _, err := p.ExecContext(context.Background(), q); err != nil {
+						log.Fatal(err)
+					}
+					mine = append(mine, time.Since(tq))
+				}
+				trips := conn.RoundTrips() - base
+				mu.Lock()
+				lats = append(lats, mine...)
+				rts += trips
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		total := len(lats)
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\t%v\t%v\t%.2f\n",
+			n, total, wall.Round(time.Millisecond),
+			float64(total)/wall.Seconds(),
+			(sum / time.Duration(total)).Round(time.Microsecond),
+			lats[total*95/100].Round(time.Microsecond),
+			float64(rts)/float64(total))
+	}
+	w.Flush()
+	m := srv.MetricsSnapshot()
+	fmt.Printf("\nserver: %d sessions served, %d fused execs, %d rows produced, %.1f MiB out, stmt ledger %d prepared / %d closed\n",
+		m.SessionsTotal, m.DirectExecs, m.RowsProduced, float64(m.BytesOut)/(1<<20), m.StmtsPrepared, m.StmtsClosed)
 }
 
 // ops is E5/E6: per-operator cost at the chosen modulus width.

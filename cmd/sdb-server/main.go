@@ -26,9 +26,23 @@ import (
 	"sdb/internal/engine"
 	"sdb/internal/secure"
 	"sdb/internal/server"
+	"sdb/internal/spill"
 	"sdb/internal/storage"
 	"sdb/internal/wal"
 )
+
+// frameCap maps the -max-frame flag onto the server knob: 0 keeps the
+// built-in default, negative disables the cap entirely.
+func frameCap(n int) int {
+	switch {
+	case n == 0:
+		return server.DefaultMaxFrameBytes
+	case n < 0:
+		return 0
+	default:
+		return n
+	}
+}
 
 func main() {
 	listen := flag.String("listen", ":7070", "address to listen on")
@@ -42,6 +56,13 @@ func main() {
 	dataDir := flag.String("data-dir", os.Getenv("SDB_DATA_DIR"), "durable data directory: WAL + checkpoints; recovery runs before serving (default SDB_DATA_DIR; empty = in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", 1024, "WAL records between automatic checkpoints (0 = only at shutdown; needs -data-dir)")
 	fsync := flag.String("fsync", wal.FsyncAlways, "WAL fsync policy: always (per statement), interval (background flusher), never")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent session limit; connections past it get one rejection frame (0 = unlimited)")
+	maxStmts := flag.Int("max-stmts", 0, "prepared statements per session (0 = default 64)")
+	globalBudget := flag.Int("global-budget", 0, "deployment-wide resident-row pool shared by every query across all sessions; exhaustion spills (0 = off; composes with -mem-budget)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics and /healthz (empty = off)")
+	maxFrame := flag.Int("max-frame", 0, "incoming wire-frame byte cap per session (0 = default 64 MiB, <0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "per-frame read deadline; silent or trickling sessions past it are dropped (0 = off)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-response write deadline for stalled readers (0 = off)")
 	flag.Parse()
 
 	if *public == "" {
@@ -60,6 +81,7 @@ func main() {
 		Parallelism: *par, ChunkSize: *chunk,
 		MemBudgetRows: *memBudget, SpillDir: *spillDir,
 		SpillParallelism: *spillPar, Planner: *planner,
+		BudgetPool: spill.NewPool(*globalBudget),
 	}
 
 	var srv *server.Server
@@ -84,11 +106,24 @@ func main() {
 		srv = server.NewWithOptions(params.N, opts)
 	}
 
+	srv.SetMaxSessions(*maxSessions)
+	srv.SetMaxSessionStmts(*maxStmts)
+	srv.SetMaxFrameBytes(frameCap(*maxFrame))
+	srv.SetIdleTimeout(*idleTimeout)
+	srv.SetWriteTimeout(*writeTimeout)
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("sdb-server: %v", err)
 	}
 	fmt.Printf("sdb-server: listening on %s (modulus %d bits)\n", addr, params.N.BitLen())
+	if *metricsAddr != "" {
+		maddr, err := srv.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("sdb-server: metrics listener: %v", err)
+		}
+		fmt.Printf("sdb-server: metrics on http://%s/metrics\n", maddr)
+	}
 
 	// Graceful shutdown: stop accepting, abort in-flight queries, then
 	// make everything durable — a checkpoint compacts the log so the next

@@ -30,6 +30,7 @@ import (
 
 	"sdb/internal/parallel"
 	"sdb/internal/secure"
+	"sdb/internal/spill"
 	"sdb/internal/sqlparser"
 	"sdb/internal/storage"
 	"sdb/internal/types"
@@ -84,6 +85,10 @@ type Engine struct {
 	// comma-join → hash-join conversion, build-side selection, hash
 	// pre-sizing), reverting to the naive AST-shaped operator tree.
 	plannerOff bool
+	// budgetPool, when non-nil, is a cross-query resident-row pool every
+	// query budget attaches to: the serving layer's global memory bound
+	// over concurrent sessions (nil = per-query budgets only).
+	budgetPool *spill.Pool
 	// execMu serializes writers (CREATE/INSERT/UPDATE) against readers.
 	// SELECTs share the read lock and hold it only while planning: every
 	// scanOp snapshots its table's column-slice headers under the lock,
@@ -137,6 +142,12 @@ type Options struct {
 	// bound (spilled and resident execution share the same parallelism);
 	// 1 forces the serial spill schedule.
 	SpillParallelism int
+	// BudgetPool is an optional resident-row pool shared across queries
+	// (and, through the server, across sessions): every per-query budget
+	// additionally reserves from it, so concurrent queries jointly stay
+	// under one deployment-wide bound and spill — rather than OOM — when
+	// the pool is exhausted. nil means per-query budgets only.
+	BudgetPool *spill.Pool
 	// Planner selects the planning pass mode: "" means the SDB_PLANNER
 	// environment default (on when unset), "on" forces the pass
 	// regardless of environment, and "off" disables it — SELECTs then
@@ -194,6 +205,13 @@ func (e *Engine) Checkpoint() error {
 	e.execMu.Lock()
 	defer e.execMu.Unlock()
 	return cp.Checkpoint()
+}
+
+// BudgetPool returns the cross-query resident-row pool the engine's
+// query budgets draw from, or nil when queries are bounded individually.
+// The server's metrics endpoint reads pool pressure through this.
+func (e *Engine) BudgetPool() *spill.Pool {
+	return e.budgetPool
 }
 
 // Generations returns the engine's rotation and catalog write counters.
@@ -257,6 +275,7 @@ func (e *Engine) applyOptions(opts Options) {
 	if e.spillWorkers <= 0 {
 		e.spillWorkers = e.pool.Workers()
 	}
+	e.budgetPool = opts.BudgetPool
 	mode := opts.Planner
 	if mode == "" {
 		mode = os.Getenv(PlannerEnv)

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sdb/internal/spill"
+	"sdb/internal/storage"
+)
+
+// TestStmtCloseRefusesQuery is the regression for Stmt.Close being a
+// no-op: a closed statement must refuse new cursors with ErrStmtClosed
+// (so remote sessions can rely on close being terminal), while cursors
+// already returned keep streaming, and Close stays idempotent.
+func TestStmtCloseRefusesQuery(t *testing.T) {
+	e := bigEngine(t, 64)
+	stmt, err := e.Prepare(`SELECT id, v FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := stmt.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := stmt.Query(context.Background()); !errors.Is(err, ErrStmtClosed) {
+		t.Fatalf("Query after Close: %v, want ErrStmtClosed", err)
+	}
+	// The cursor handed out before Close still drains in full.
+	if got := drainStream(t, it, e.batchRows()); len(got) != 64 {
+		t.Fatalf("pre-Close cursor drained %d rows, want 64", len(got))
+	}
+	it.Close()
+}
+
+// TestBudgetPoolExhaustionSpills wires a deployment-wide resident-row
+// pool smaller than one sort's input: reservations get refused, the sort
+// spills instead of erroring, results stay correct, and the pool drains
+// back to zero when the query finishes.
+func TestBudgetPoolExhaustionSpills(t *testing.T) {
+	pool := spill.NewPool(48)
+	e := NewWithOptions(storage.NewCatalog(), nil, Options{
+		Parallelism: 2, ChunkSize: 16,
+		MemBudgetRows: -1, // per-query budget off: only the pool bounds residency
+		BudgetPool:    pool,
+		SpillDir:      t.TempDir(),
+	})
+	mustExec(t, e, `CREATE TABLE big (id INT, v INT)`)
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i*3)
+	}
+	mustExec(t, e, "INSERT INTO big VALUES "+sb.String())
+
+	res := mustExec(t, e, `SELECT id, v FROM big ORDER BY id DESC`)
+	if len(res.Rows) != 200 {
+		t.Fatalf("pooled sort returned %d rows, want 200", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if int(row[0].I) != 199-i {
+			t.Fatalf("row %d: id %d, want %d (spilled merge broke ordering)", i, row[0].I, 199-i)
+		}
+	}
+	if pool.Refused() == 0 {
+		t.Fatal("200-row sort over a 48-row pool never refused a reservation")
+	}
+	if pool.Used() != 0 {
+		t.Fatalf("pool has %d rows still reserved after the query finished", pool.Used())
+	}
+	if hi, limit := pool.MaxUsed(), pool.Limit(); hi > limit {
+		t.Fatalf("pool high-water %d exceeded limit %d", hi, limit)
+	}
+}

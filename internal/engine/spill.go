@@ -55,7 +55,7 @@ type querySpill struct {
 // one in-flight batch for a handful of stages plus merge look-ahead.
 func (e *Engine) newQuerySpill() *querySpill {
 	return &querySpill{
-		budget:  spill.NewBudget(e.budgetRows, 6*e.batchRows()),
+		budget:  spill.NewBudget(e.budgetRows, 6*e.batchRows()).WithPool(e.budgetPool),
 		sess:    spill.NewSession(e.spillDir),
 		workers: e.spillWorkers,
 	}

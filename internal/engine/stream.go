@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync/atomic"
 
 	"sdb/internal/sqlparser"
 	"sdb/internal/types"
@@ -45,6 +46,11 @@ type Stmt struct {
 	e    *Engine
 	stmt sqlparser.Statement
 	src  string
+	// closed flips once on Close; Query then refuses with ErrStmtClosed.
+	// Making Close observable keeps every holder honest about statement
+	// lifecycle — server sessions must close what they prepare, and the
+	// proxy's re-prepare-on-ErrStmtClosed retry gets exercised in-process.
+	closed atomic.Bool
 }
 
 // Prepare parses one statement for repeated execution.
@@ -65,8 +71,13 @@ func (e *Engine) PrepareStream(src string) (PreparedStmt, error) {
 // SQL returns the statement's source text.
 func (s *Stmt) SQL() string { return s.src }
 
-// Close releases the statement. In-process statements hold no resources.
-func (s *Stmt) Close() error { return nil }
+// Close releases the statement: later Query calls fail with
+// ErrStmtClosed. Cursors already returned by Query are unaffected.
+// Close is idempotent.
+func (s *Stmt) Close() error {
+	s.closed.Store(true)
+	return nil
+}
 
 // Query executes the statement and returns a streaming cursor. SELECTs
 // plan the full operator tree — every stage streams, blocking operators
@@ -75,6 +86,9 @@ func (s *Stmt) Close() error { return nil }
 // Non-SELECT statements execute eagerly and return their (small) result as
 // a one-shot stream.
 func (s *Stmt) Query(ctx context.Context) (RowIterator, error) {
+	if s.closed.Load() {
+		return nil, ErrStmtClosed
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

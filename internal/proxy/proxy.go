@@ -66,6 +66,11 @@ type Options struct {
 	// executor supports streaming. Used by differential tests and as an
 	// operational safety valve.
 	DisableStream bool
+	// DisableDirect forces one-shot SELECTs through the unfused
+	// prepare/execute/close sequence even when the executor supports the
+	// fused direct op (DirectQueryer). Used by the round-trip differential
+	// tests and benchmarks that compare the two paths.
+	DisableDirect bool
 	// PlanCacheSize bounds the rewrite/token cache (plancache.go): 0
 	// means the default (256 statements) unless the SDB_PLANNER
 	// environment knob disables the planner stack, negative disables the

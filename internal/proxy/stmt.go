@@ -20,6 +20,16 @@ type StreamExecutor interface {
 	PrepareStream(sql string) (engine.PreparedStmt, error)
 }
 
+// DirectQueryer is a StreamExecutor that can additionally run a one-shot
+// statement fused — prepare, execute and stream teardown collapsed into a
+// single exchange (the v2 wire protocol's OpExecuteDirect). The proxy
+// routes one-shot SELECTs through it, cutting a remote one-shot from
+// three round trips to one; prepared statements keep the unfused path,
+// where the server-side prepare amortizes across executions.
+type DirectQueryer interface {
+	QueryDirect(ctx context.Context, sql string) (engine.RowIterator, error)
+}
+
 type stmtKind int
 
 const (
@@ -69,6 +79,12 @@ type Stmt struct {
 	create *sqlparser.CreateTable
 	drop   *sqlparser.DropTable
 
+	// oneShot marks a statement created for exactly one execution
+	// (Proxy.QueryContext / Proxy.ExecContext): SELECTs then skip the
+	// server-side prepare and run fused via DirectQueryer when the
+	// executor offers it.
+	oneShot bool
+
 	closed bool
 }
 
@@ -79,6 +95,10 @@ func (p *Proxy) Prepare(sql string) (*Stmt, error) {
 
 // PrepareContext is Prepare honouring ctx cancellation.
 func (p *Proxy) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
+	return p.prepareContext(ctx, sql, false)
+}
+
+func (p *Proxy) prepareContext(ctx context.Context, sql string, oneShot bool) (*Stmt, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -87,7 +107,7 @@ func (p *Proxy) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Stmt{p: p, src: sql}
+	s := &Stmt{p: p, src: sql, oneShot: oneShot}
 	s.prep.Parse = time.Since(t0)
 
 	switch st := parsed.(type) {
@@ -145,6 +165,13 @@ func (s *Stmt) prepareSelect() error {
 	s.mu.Unlock()
 	s.prep.Rewrite = time.Since(t1)
 	s.prep.RewrittenSQL = s.rewritten
+	if s.oneShot {
+		if _, ok := s.p.directQueryer(); ok {
+			// The fused op carries the SQL itself; a server-side prepare
+			// here would just re-add the round trip the fusion removes.
+			return nil
+		}
+	}
 	if se, ok := s.p.streamExecutor(); ok {
 		remote, err := se.PrepareStream(s.rewritten)
 		if err != nil {
@@ -165,6 +192,16 @@ func (p *Proxy) streamExecutor() (StreamExecutor, bool) {
 	}
 	se, ok := p.exec.(StreamExecutor)
 	return se, ok
+}
+
+// directQueryer returns the executor as a DirectQueryer when the fused
+// one-shot path is available and enabled.
+func (p *Proxy) directQueryer() (DirectQueryer, bool) {
+	if p.opts.DisableStream || p.opts.DisableDirect {
+		return nil, false
+	}
+	dq, ok := p.exec.(DirectQueryer)
+	return dq, ok
 }
 
 // IsQuery reports whether the statement returns a row stream (a SELECT).
@@ -251,6 +288,16 @@ func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
 // server cursor when streaming, or the materialized single-shot result
 // wrapped as a one-shot stream otherwise.
 func (s *Stmt) queryEncrypted(ctx context.Context) (engine.RowIterator, time.Duration, error) {
+	if s.oneShot {
+		if dq, ok := s.p.directQueryer(); ok {
+			t0 := time.Now()
+			it, err := dq.QueryDirect(ctx, s.rewritten)
+			if err != nil {
+				return nil, 0, err
+			}
+			return it, time.Since(t0), nil
+		}
+	}
 	se, streaming := s.p.streamExecutor()
 	if !streaming {
 		t0 := time.Now()
@@ -323,9 +370,11 @@ func (s *Stmt) ExecContext(ctx context.Context) (*Result, error) {
 }
 
 // QueryContext prepares and executes a SELECT in one call; closing the
-// returned cursor also closes the one-shot statement.
+// returned cursor also closes the one-shot statement. Against an executor
+// with the fused direct op (a v2 server connection), the whole remote
+// statement costs one round trip.
 func (p *Proxy) QueryContext(ctx context.Context, sql string) (*Rows, error) {
-	stmt, err := p.PrepareContext(ctx, sql)
+	stmt, err := p.prepareContext(ctx, sql, true)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +390,7 @@ func (p *Proxy) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 // ExecContext parses, rewrites, executes and decrypts one SQL statement,
 // honouring ctx. It is Prepare + ExecContext + Close in one call.
 func (p *Proxy) ExecContext(ctx context.Context, sql string) (*Result, error) {
-	stmt, err := p.PrepareContext(ctx, sql)
+	stmt, err := p.prepareContext(ctx, sql, true)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"sdb/internal/engine"
 	"sdb/internal/types"
@@ -17,12 +18,13 @@ import (
 // proxy.Executor and proxy.StreamExecutor, so a Proxy can be pointed at a
 // server across the network exactly like at an in-process engine.
 //
-// Dial negotiates the protocol version: against a v1 server, prepared
-// statements execute as streamed row-batch cursors; against a legacy (v0)
-// server the client transparently falls back to single-shot execution.
-// The connection carries one request/response exchange at a time (guarded
-// by a mutex), so several statements and cursors may interleave their
-// batch fetches on one connection.
+// Dial negotiates the protocol version: against a v2 server, one-shot
+// statements can run fused (QueryDirect, one round trip); against a v1
+// server, prepared statements execute as streamed row-batch cursors;
+// against a legacy (v0) server the client transparently falls back to
+// single-shot execution. The connection carries one request/response
+// exchange at a time (guarded by a mutex), so several statements and
+// cursors may interleave their batch fetches on one connection.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -30,23 +32,35 @@ type Client struct {
 	ver  uint8
 	// batch caps rows per fetched frame; 0 lets the server choose.
 	batch int
+	// trips counts framed round trips (the latency currency of the remote
+	// path; the fused-op tests assert on its deltas).
+	trips atomic.Int64
 }
 
 // Dial connects to a server and negotiates the protocol version. A legacy
-// server answers the version handshake with an error frame, which marks
-// the connection as v0 (single-shot only).
+// server answers the version handshake with an error frame carrying
+// Ver == 0, which marks the connection as v0 (single-shot only); an error
+// frame with a nonzero Ver is a real refusal — admission rejection from a
+// server at its session limit — and fails the dial.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
 	}
 	c := &Client{conn: conn, wc: wire.NewConn(conn)}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpHello, Ver: wire.ProtocolV1})
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpHello, Ver: wire.ProtocolV2})
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("server: version handshake with %s: %w", addr, err)
 	}
-	if resp.Ver >= wire.ProtocolV1 {
+	if resp.Err != "" && resp.Ver >= wire.ProtocolV1 {
+		conn.Close()
+		return nil, fmt.Errorf("server: %s refused connection: %s", addr, resp.Err)
+	}
+	switch {
+	case resp.Ver >= wire.ProtocolV2:
+		c.ver = wire.ProtocolV2
+	case resp.Ver >= wire.ProtocolV1:
 		c.ver = wire.ProtocolV1
 	}
 	// A v0 server treats the handshake as an (empty) statement and answers
@@ -56,6 +70,10 @@ func Dial(addr string) (*Client, error) {
 
 // Protocol returns the negotiated protocol version.
 func (c *Client) Protocol() uint8 { return c.ver }
+
+// RoundTrips reports the framed request/response exchanges performed so
+// far — the number the fused op exists to shrink.
+func (c *Client) RoundTrips() int64 { return c.trips.Load() }
 
 // SetBatchRows caps the rows per fetched row-batch frame (0 restores the
 // server default). It must not be called concurrently with open cursors.
@@ -74,6 +92,7 @@ func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 	if c.conn == nil {
 		return nil, errors.New("server: client closed")
 	}
+	c.trips.Add(1)
 	if err := c.wc.SendRequest(req); err != nil {
 		return nil, err
 	}
@@ -114,6 +133,67 @@ func (c *Client) PrepareStream(sql string) (engine.PreparedStmt, error) {
 	return &remoteStmt{c: c, id: resp.StmtID}, nil
 }
 
+// QueryDirect runs one statement fused: on a v2 server, prepare + execute
+// + first batch cost a single round trip, and the server frees the
+// statement on its own when the stream ends — most one-shot results fit
+// the first frame, making the whole statement one exchange instead of
+// Prepare/Execute/Close's three. On older servers it falls back to the
+// equivalent unfused sequence, so callers need not care what was
+// negotiated.
+func (c *Client) QueryDirect(ctx context.Context, sql string) (engine.RowIterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.ver < wire.ProtocolV2 {
+		stmt, err := c.PrepareStream(sql)
+		if err != nil {
+			return nil, err
+		}
+		it, err := stmt.Query(ctx)
+		if err != nil {
+			stmt.Close()
+			return nil, err
+		}
+		return &ownedRows{RowIterator: it, stmt: stmt}, nil
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpExecuteDirect, Ver: c.ver, SQL: sql, MaxRows: c.batch})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	stmt := &remoteStmt{c: c, id: resp.StmtID, direct: true}
+	if resp.StmtID == 0 {
+		// The stream ended inside the fused frame; the server already freed
+		// the statement, so there is nothing left to address or close.
+		stmt.closed = true
+	}
+	return &remoteRows{
+		ctx:  ctx,
+		stmt: stmt,
+		cols: wire.ToColumns(resp.Columns),
+		cur:  wire.ToRows(resp.Rows),
+		eos:  resp.EOS,
+	}, nil
+}
+
+// ownedRows binds a fallback statement's lifetime to its cursor: Close
+// tears both down, giving pre-v2 servers the same caller-visible
+// lifecycle as the fused path.
+type ownedRows struct {
+	engine.RowIterator
+	stmt engine.PreparedStmt
+}
+
+func (r *ownedRows) Close() error {
+	err := r.RowIterator.Close()
+	if cerr := r.stmt.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Close terminates the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -128,10 +208,22 @@ func (c *Client) Close() error {
 
 // remoteStmt is a prepared statement living in a server session.
 type remoteStmt struct {
-	c      *Client
-	id     uint64
+	c  *Client
+	id uint64
+	// direct marks a statement created by the fused op: the server frees
+	// it when its stream ends, so the client marks it closed locally on
+	// EOS instead of sending a redundant OpClose.
+	direct bool
 	mu     sync.Mutex
 	closed bool
+}
+
+// markClosed records that the server side is already gone (fused EOS /
+// terminal stream error), so Close becomes a local no-op.
+func (s *remoteStmt) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 }
 
 // Query starts a cursor on the statement. The ctx is checked between batch
@@ -225,10 +317,17 @@ func (r *remoteRows) NextBatch() ([]types.Row, error) {
 	}
 	if resp.Err != "" {
 		r.err = errors.New(resp.Err)
+		if r.stmt.direct {
+			// The server freed the fused statement with the failed stream.
+			r.stmt.markClosed()
+		}
 		return nil, r.err
 	}
 	if resp.EOS {
 		r.done = true
+		if r.stmt.direct {
+			r.stmt.markClosed()
+		}
 		if len(resp.Rows) > 0 {
 			return wire.ToRows(resp.Rows), nil
 		}
@@ -247,7 +346,9 @@ func (r *remoteRows) NextBatch() ([]types.Row, error) {
 // whole statement is closed so the server session frees its statement slot
 // (the cancellation contract); otherwise the cursor is reset server-side
 // and the statement stays prepared for re-execution. Either way the
-// session stops pinning the query's relation.
+// session stops pinning the query's relation. A fused (direct) statement
+// is closed outright rather than reset — nobody holds a handle to
+// re-execute it, and only EOS (not OpReset) would auto-free it.
 func (r *remoteRows) Close() error {
 	if r.done || r.err != nil {
 		r.done = true
@@ -256,7 +357,7 @@ func (r *remoteRows) Close() error {
 	}
 	r.done = true
 	r.cur = nil
-	if r.ctx.Err() != nil {
+	if r.stmt.direct || r.ctx.Err() != nil {
 		return r.stmt.Close()
 	}
 	// Best effort: connection teardown covers a failed reset.

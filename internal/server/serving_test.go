@@ -1,0 +1,665 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdb/internal/engine"
+	"sdb/internal/proxy"
+	"sdb/internal/secure"
+	"sdb/internal/spill"
+	"sdb/internal/wire"
+)
+
+// plainServer stands up a server with a small plaintext table (no
+// SENSITIVE columns, so no proxy needed) for tests that drive the wire
+// protocol directly.
+func plainServer(t *testing.T, rows int) (*Server, net.Addr) {
+	t.Helper()
+	secret, err := secure.Setup(256, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(secret.N(), engine.Options{Parallelism: 2, ChunkSize: 8})
+	seedPlainTable(t, srv, rows)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+func seedPlainTable(t *testing.T, srv *Server, rows int) {
+	t.Helper()
+	if _, err := srv.eng.ExecuteSQL(`CREATE TABLE c (a INT, b INT)`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO c VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i%13)
+	}
+	if _, err := srv.eng.ExecuteSQL(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestExecRunsUnderSessionContext is the regression for the v0 OpExec
+// cancellation bug: the legacy single-shot path used to execute outside
+// the session context, so dropping the connection or Server.Close could
+// not cancel it. Now a cancelled session refuses the query outright and a
+// live one still serves it.
+func TestExecRunsUnderSessionContext(t *testing.T) {
+	srv, _ := plainServer(t, 8)
+
+	live := srv.newSession()
+	defer live.shutdown()
+	if resp := srv.execute(live, &wire.Request{SQL: `SELECT a FROM c`}); resp.Err != "" {
+		t.Fatalf("live session exec failed: %s", resp.Err)
+	}
+
+	dead := srv.newSession()
+	dead.cancel()
+	resp := srv.execute(dead, &wire.Request{SQL: `SELECT a FROM c`})
+	if resp.Err == "" {
+		t.Fatal("exec on a cancelled session succeeded; the session context is not threaded through")
+	}
+	if !strings.Contains(resp.Err, "canceled") {
+		t.Fatalf("exec on a cancelled session failed with %q, want a context cancellation", resp.Err)
+	}
+}
+
+// TestPrepareLifecycleSymmetry pins the statement lifecycle invariant
+// behind the prepare-leak and shutdown-leak bugfixes: every statement the
+// server registers is closed exactly once, whether freed by OpClose, by a
+// failed parse releasing its slot, or by session teardown.
+func TestPrepareLifecycleSymmetry(t *testing.T) {
+	srv, addr := plainServer(t, 8)
+	srv.SetMaxSessionStmts(3)
+
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	base := srv.MetricsSnapshot()
+	var stmts []engine.PreparedStmt
+	for i := 0; i < 3; i++ {
+		st, err := client.PrepareStream(`SELECT a FROM c`)
+		if err != nil {
+			t.Fatalf("prepare %d within the limit: %v", i, err)
+		}
+		stmts = append(stmts, st)
+	}
+	if _, err := client.PrepareStream(`SELECT b FROM c`); err == nil ||
+		!strings.Contains(err.Error(), "statement limit (3)") {
+		t.Fatalf("over-limit prepare: got %v, want statement-limit rejection", err)
+	}
+	if got := srv.MetricsSnapshot().StmtsRejected - base.StmtsRejected; got != 1 {
+		t.Fatalf("StmtsRejected delta = %d, want 1", got)
+	}
+
+	// A failed parse must release its reserved slot, or the session would
+	// wedge below its limit.
+	stmts[0].Close()
+	waitFor(t, "slot freed by close", func() bool { return srv.OpenStmts() == 2 })
+	if _, err := client.PrepareStream(`SELECT FROM nope (`); err == nil {
+		t.Fatal("want parse error")
+	}
+	st, err := client.PrepareStream(`SELECT a FROM c`)
+	if err != nil {
+		t.Fatalf("prepare after failed parse (slot leaked?): %v", err)
+	}
+	stmts[0] = st
+
+	// Drop the connection with three statements (one mid-stream) still
+	// open: session shutdown must close them all.
+	if _, err := stmts[1].Query(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	waitFor(t, "session statements freed on disconnect", func() bool { return srv.OpenStmts() == 0 })
+	waitFor(t, "statement lifecycle symmetric", func() bool {
+		m := srv.MetricsSnapshot()
+		return m.StmtsPrepared == m.StmtsClosed && m.StmtsPrepared-base.StmtsPrepared == 4
+	})
+}
+
+// TestOversizeFrameDropped is the regression for unbounded frame reads: a
+// frame past the configured cap must be refused and the connection
+// dropped, not buffered into memory.
+func TestOversizeFrameDropped(t *testing.T) {
+	srv, addr := plainServer(t, 4)
+	srv.SetMaxFrameBytes(64 << 10)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	if err := wc.SendRequest(&wire.Request{Op: wire.OpPrepare, Ver: wire.ProtocolV1,
+		SQL: strings.Repeat("x", 1<<20)}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if resp, err := wc.ReadResponse(); err == nil {
+		if resp.Err == "" || !strings.Contains(resp.Err, "size limit") {
+			t.Fatalf("oversize frame answered with %+v, want size-limit error", resp)
+		}
+		// After the error frame the connection must be gone.
+		if _, err := wc.ReadResponse(); err == nil {
+			t.Fatal("connection still alive after oversize frame")
+		}
+	}
+	waitFor(t, "session dropped after oversize frame", func() bool { return srv.NumSessions() == 0 })
+	if got := srv.MetricsSnapshot().FramesOversize; got != 1 {
+		t.Fatalf("FramesOversize = %d, want 1", got)
+	}
+
+	// An under-limit session on the same server still works.
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.ExecuteSQL(`SELECT a FROM c`); err != nil {
+		t.Fatalf("normal traffic after oversize rejection: %v", err)
+	}
+}
+
+// TestSlowLorisDropped is the regression for missing read deadlines: a
+// peer that connects and trickles bytes without ever completing a frame
+// must be dropped by the idle deadline, freeing its session.
+func TestSlowLorisDropped(t *testing.T) {
+	srv, addr := plainServer(t, 4)
+	srv.SetIdleTimeout(150 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitFor(t, "session admitted", func() bool { return srv.NumSessions() == 1 })
+
+	// Trickle one byte every 50ms: the per-frame deadline is absolute, so
+	// activity alone must not keep the session alive.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+				if _, err := conn.Write([]byte{0x01}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	waitFor(t, "slow-loris session dropped", func() bool { return srv.NumSessions() == 0 })
+
+	// A session that completes frames promptly is unaffected by the idle
+	// deadline as long as it keeps talking.
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := client.ExecuteSQL(`SELECT a FROM c`); err != nil {
+			t.Fatalf("prompt request %d under idle deadline: %v", i, err)
+		}
+	}
+}
+
+// TestSessionAdmissionLimit checks the -max-sessions bound: connections
+// past it get one explanatory rejection frame (Dial fails hard instead of
+// falling back to v0), and a freed slot re-admits.
+func TestSessionAdmissionLimit(t *testing.T) {
+	srv, addr := plainServer(t, 4)
+	srv.SetMaxSessions(2)
+
+	c1, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	waitFor(t, "two sessions admitted", func() bool { return srv.NumSessions() == 2 })
+
+	if _, err := Dial(addr.String()); err == nil || !strings.Contains(err.Error(), "session limit (2)") {
+		t.Fatalf("third dial: got %v, want session-limit refusal", err)
+	}
+	if got := srv.MetricsSnapshot().SessionsRejected; got != 1 {
+		t.Fatalf("SessionsRejected = %d, want 1", got)
+	}
+
+	c1.Close()
+	waitFor(t, "slot freed", func() bool { return srv.NumSessions() == 1 })
+	c3, err := Dial(addr.String())
+	if err != nil {
+		t.Fatalf("dial after a slot freed: %v", err)
+	}
+	c3.Close()
+}
+
+// TestV1ClientCompat drives the exact frames a v1 client sends — Hello
+// capped at v1, then Prepare/Execute/Fetch/Close — and checks the v2
+// server negotiates down and serves the stream unchanged. This is the
+// negotiation differential: an unmodified v1 client keeps working. The
+// second half replays the v0 single-shot shape (no hello at all).
+func TestV1ClientCompat(t *testing.T) {
+	_, addr := plainServer(t, 40)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	exchange := func(req *wire.Request) *wire.Response {
+		t.Helper()
+		if err := wc.SendRequest(req); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wc.ReadResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	hello := exchange(&wire.Request{Op: wire.OpHello, Ver: wire.ProtocolV1})
+	if hello.Ver != wire.ProtocolV1 {
+		t.Fatalf("v1 hello negotiated %d, want %d", hello.Ver, wire.ProtocolV1)
+	}
+	prep := exchange(&wire.Request{Op: wire.OpPrepare, Ver: wire.ProtocolV1, SQL: `SELECT a FROM c`})
+	if prep.Err != "" || prep.StmtID == 0 {
+		t.Fatalf("v1 prepare: %+v", prep)
+	}
+	n := 0
+	resp := exchange(&wire.Request{Op: wire.OpExecute, Ver: wire.ProtocolV1, StmtID: prep.StmtID, MaxRows: 16})
+	for {
+		if resp.Err != "" {
+			t.Fatalf("v1 stream: %s", resp.Err)
+		}
+		if resp.Ver != wire.ProtocolV1 {
+			t.Fatalf("session frame carries Ver %d after v1 negotiation", resp.Ver)
+		}
+		n += len(resp.Rows)
+		if resp.EOS {
+			break
+		}
+		resp = exchange(&wire.Request{Op: wire.OpFetch, Ver: wire.ProtocolV1, StmtID: prep.StmtID, MaxRows: 16})
+	}
+	if n != 40 {
+		t.Fatalf("v1 stream saw %d rows, want 40", n)
+	}
+	if resp := exchange(&wire.Request{Op: wire.OpClose, Ver: wire.ProtocolV1, StmtID: prep.StmtID}); resp.Err != "" {
+		t.Fatalf("v1 close: %s", resp.Err)
+	}
+
+	// v0: a one-field request frame straight away, whole result in one
+	// response frame.
+	conn0, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn0.Close()
+	wc0 := wire.NewConn(conn0)
+	if err := wc0.SendRequest(&wire.Request{SQL: `SELECT a FROM c`}); err != nil {
+		t.Fatal(err)
+	}
+	resp0, err := wc0.ReadResponse()
+	if err != nil || resp0.Err != "" || len(resp0.Rows) != 40 {
+		t.Fatalf("v0 single-shot: err=%v resp=%+v", err, resp0)
+	}
+}
+
+// TestDirectExecRoundTrips pins the tentpole's latency claim: a one-shot
+// SELECT whose result fits one frame costs exactly 1 round trip fused and
+// 3 (prepare, execute+EOS, close) unfused.
+func TestDirectExecRoundTrips(t *testing.T) {
+	f := newStreamFixture(t, 5)
+	const q = `SELECT id, v FROM t`
+	ctx := context.Background()
+
+	before := f.client.RoundTrips()
+	res, err := f.p.ExecContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := f.client.RoundTrips() - before
+	if len(res.Rows) != 5 {
+		t.Fatalf("fused result: %d rows, want 5", len(res.Rows))
+	}
+	if fused != 1 {
+		t.Fatalf("fused one-shot cost %d round trips, want 1", fused)
+	}
+
+	f.p.SetOptions(proxy.Options{Parallelism: 2, ChunkSize: 8, DisableDirect: true})
+	before = f.client.RoundTrips()
+	res, err = f.p.ExecContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused := f.client.RoundTrips() - before
+	if len(res.Rows) != 5 {
+		t.Fatalf("unfused result: %d rows, want 5", len(res.Rows))
+	}
+	if unfused != 3 {
+		t.Fatalf("unfused one-shot cost %d round trips, want 3", unfused)
+	}
+
+	if got := f.srv.MetricsSnapshot().DirectExecs; got < 1 {
+		t.Fatalf("DirectExecs = %d, want >= 1", got)
+	}
+}
+
+// TestDirectExecMultiFrame checks the fused op's statement lifecycle when
+// the result spans frames: fusion saves exactly the prepare and close
+// exchanges, the statement survives for OpFetch, and it is auto-closed at
+// EOS without any OpClose from the client.
+func TestDirectExecMultiFrame(t *testing.T) {
+	f := newStreamFixture(t, 100)
+	const q = `SELECT id, v FROM t`
+	ctx := context.Background()
+
+	before := f.client.RoundTrips()
+	res, err := f.p.ExecContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := f.client.RoundTrips() - before
+	if len(res.Rows) != 100 {
+		t.Fatalf("fused multi-frame result: %d rows, want 100", len(res.Rows))
+	}
+	if fused < 2 {
+		t.Fatalf("fused multi-frame cost %d round trips; 100 rows at 7 per frame cannot fit one", fused)
+	}
+	waitFor(t, "fused statement auto-closed at EOS", func() bool { return f.srv.OpenStmts() == 0 })
+
+	f.p.SetOptions(proxy.Options{Parallelism: 2, ChunkSize: 8, DisableDirect: true})
+	before = f.client.RoundTrips()
+	if _, err := f.p.ExecContext(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	unfused := f.client.RoundTrips() - before
+	if unfused != fused+2 {
+		t.Fatalf("multi-frame: fused %d vs unfused %d round trips; fusion must save exactly prepare+close", fused, unfused)
+	}
+	f.p.SetOptions(proxy.Options{Parallelism: 2, ChunkSize: 8})
+
+	// Abandoning a fused cursor mid-stream must free the server statement
+	// via an explicit close (EOS never arrives to auto-close it).
+	rows, err := f.p.QueryContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	waitFor(t, "abandoned fused statement freed", func() bool { return f.srv.OpenStmts() == 0 })
+}
+
+// TestBackpressureStalledClient pins the producer bound: a client that
+// executes but never fetches must not make the server pull the whole
+// result — the prefetch stays within a few engine batches.
+func TestBackpressureStalledClient(t *testing.T) {
+	f := newStreamFixture(t, 2000)
+	base := f.srv.MetricsSnapshot().RowsProduced
+
+	stmt, err := f.client.PrepareStream(`SELECT id, v FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := stmt.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One frame was served; stall without fetching and give the producer
+	// time to overrun if it were unbounded.
+	time.Sleep(200 * time.Millisecond)
+	// 16-row engine batches; the prefetch pipeline holds at most served +
+	// channel + in-flight ≈ a handful of batches, never the whole table.
+	if got := f.srv.MetricsSnapshot().RowsProduced - base; got > 5*16 {
+		t.Fatalf("stalled client saw %d rows produced server-side, want a bounded prefetch (<= %d)", got, 5*16)
+	}
+	// Draining still yields the full result.
+	n := 0
+	for {
+		batch, err := it.NextBatch()
+		if err != nil {
+			break
+		}
+		n += len(batch)
+	}
+	if n != 2000 {
+		t.Fatalf("drained %d rows after stall, want 2000", n)
+	}
+	it.Close()
+	stmt.Close()
+}
+
+// dialRetry dials, retrying admission rejections: session teardown is
+// asynchronous, so a freed slot may lag the connection close that freed
+// it.
+func dialRetry(addr string) (*Client, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if !strings.Contains(err.Error(), "session limit") || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestConcurrentServing is the race-detected multi-client suite: many
+// drivers against one admission-limited, pool-budgeted server, with half
+// the clients disconnecting mid-stream, while the statement ledger and
+// pool accounting stay coherent.
+func TestConcurrentServing(t *testing.T) {
+	secret, err := secure.Setup(256, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := spill.NewPool(96)
+	srv := NewWithOptions(secret.N(), engine.Options{
+		Parallelism: 2, ChunkSize: 8,
+		MemBudgetRows: -1, // the shared pool is the only resident-row bound
+		BudgetPool:    pool,
+		SpillDir:      t.TempDir(),
+	})
+	seedPlainTable(t, srv, 300)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	const clients = 12
+	// The limit equals the worker count: every worker eventually gets in,
+	// but asynchronous teardown makes redials race the limit for real.
+	srv.SetMaxSessions(clients)
+
+	// ORDER BY forces a blocking sort through the shared pool: 300
+	// resident rows against a 96-row pool guarantees refusals, so every
+	// sort spills — OOM-becomes-spill under real interleaving.
+	const q = `SELECT a, b FROM c ORDER BY a`
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				c, err := dialRetry(addr.String())
+				if err != nil {
+					errs <- fmt.Errorf("worker %d dial: %w", w, err)
+					return
+				}
+				it, err := c.QueryDirect(context.Background(), q)
+				if err != nil {
+					c.Close()
+					errs <- fmt.Errorf("worker %d query: %w", w, err)
+					return
+				}
+				if w%2 == 0 {
+					// Disconnect storm: drop the TCP connection mid-stream.
+					it.NextBatch()
+					c.Close()
+					continue
+				}
+				n, last := 0, -1
+				for {
+					batch, err := it.NextBatch()
+					if err != nil {
+						break
+					}
+					for _, row := range batch {
+						v := int(row[0].I)
+						if v < last {
+							errs <- fmt.Errorf("worker %d: out-of-order row %d after %d (spill broke ordering)", w, v, last)
+							return
+						}
+						last = v
+						n++
+					}
+				}
+				if n != 300 {
+					errs <- fmt.Errorf("worker %d drained %d rows, want 300", w, n)
+					return
+				}
+				it.Close()
+				c.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	waitFor(t, "all sessions gone", func() bool { return srv.NumSessions() == 0 })
+	waitFor(t, "all statements freed", func() bool { return srv.OpenStmts() == 0 })
+	waitFor(t, "statement ledger balanced", func() bool {
+		m := srv.MetricsSnapshot()
+		return m.StmtsPrepared == m.StmtsClosed
+	})
+	waitFor(t, "pool reservations returned", func() bool { return pool.Used() == 0 })
+	if pool.Refused() == 0 {
+		t.Error("300-row sorts over a 96-row pool never spilled; pool budget not enforced")
+	}
+	m := srv.MetricsSnapshot()
+	if m.SessionsTotal < clients || m.DirectExecs < clients || m.RowsProduced == 0 || m.BytesIn == 0 || m.BytesOut == 0 {
+		t.Errorf("implausible metrics after load: %+v", m)
+	}
+}
+
+// TestMetricsEndpoint exercises /healthz and /metrics over real HTTP,
+// including budget-pool gauges and a registered external gauge.
+func TestMetricsEndpoint(t *testing.T) {
+	secret, err := secure.Setup(256, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(secret.N(), engine.Options{
+		Parallelism: 2, ChunkSize: 8, BudgetPool: spill.NewPool(1 << 20),
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	maddr, err := srv.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	p, err := proxy.NewWithOptions(secret, client, proxy.Options{Parallelism: 2, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`CREATE TABLE m (id INT, v INT SENSITIVE)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`INSERT INTO m VALUES (1, 10), (2, 20)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(`SELECT id, v FROM m`); err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterGauge("sdb_plan_cache_hits_total", func() int64 {
+		hits, _ := p.PlanCacheStats()
+		return int64(hits)
+	})
+
+	if body := httpGet(t, fmt.Sprintf("http://%s/healthz", maddr)); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %q", body)
+	}
+	body := httpGet(t, fmt.Sprintf("http://%s/metrics", maddr))
+	for _, want := range []string{
+		"sdb_sessions_active 1",
+		"sdb_stmts_prepared_total",
+		"sdb_direct_execs_total",
+		"sdb_bytes_in_total",
+		"sdb_budget_pool_limit_rows",
+		"sdb_plan_cache_hits_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The CI smoke asserts the same: core counters must be nonzero on a
+	// server that has served traffic.
+	for _, zero := range []string{"sdb_sessions_total 0\n", "sdb_bytes_in_total 0\n"} {
+		if strings.Contains(body, zero) {
+			t.Errorf("/metrics counter unexpectedly zero: %q", zero)
+		}
+	}
+}

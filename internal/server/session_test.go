@@ -44,8 +44,8 @@ func newStreamFixture(t *testing.T, rows int) *streamFixture {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { client.Close() })
-	if client.Protocol() != wire.ProtocolV1 {
-		t.Fatalf("negotiated protocol %d, want %d", client.Protocol(), wire.ProtocolV1)
+	if client.Protocol() != wire.ProtocolV2 {
+		t.Fatalf("negotiated protocol %d, want %d", client.Protocol(), wire.ProtocolV2)
 	}
 	// A frame cap below the engine batch exercises the server-side batch
 	// splitting (pending-rows carry-over between frames).

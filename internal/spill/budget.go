@@ -28,11 +28,19 @@ import "sync/atomic"
 // state the pipeline holds without reserving (in-flight batches, merge
 // look-ahead rows, pending operator output), so that the sampled peak —
 // reservations plus that slack — stays at or under the limit.
+//
+// A Budget may additionally draw from a shared Pool (WithPool): every
+// reservation must then succeed against both the query's own limit and
+// the pool, so N concurrent queries jointly stay under a deployment-wide
+// resident-row bound even when each is individually under its per-query
+// budget. A refused pool reservation is the same spill signal as a
+// refused local one.
 type Budget struct {
-	limit   int64 // hard budget; <= 0 means unlimited
+	limit   int64 // hard per-query budget; <= 0 means locally unlimited
 	soft    int64 // reservation threshold (limit - headroom)
 	used    atomic.Int64
 	maxUsed atomic.Int64 // high-water mark of used, latched on reserve
+	pool    *Pool        // optional shared cross-query pool
 }
 
 // NewBudget builds a budget of limit resident rows, keeping headroom rows
@@ -58,8 +66,21 @@ func NewBudget(limit, headroom int) *Budget {
 	return b
 }
 
+// WithPool attaches a shared cross-query pool: every reservation must
+// succeed against both the local limit and the pool. Attaching a pool to
+// a locally-unlimited budget (limit <= 0) makes the pool the only bound.
+// Call before handing the budget to operators; nil is a no-op.
+func (b *Budget) WithPool(p *Pool) *Budget {
+	if b != nil && p != nil && p.limit > 0 {
+		b.pool = p
+	}
+	return b
+}
+
 // Unlimited reports whether the budget never forces a spill.
-func (b *Budget) Unlimited() bool { return b == nil || b.limit <= 0 }
+func (b *Budget) Unlimited() bool {
+	return b == nil || (b.limit <= 0 && b.pool == nil)
+}
 
 // Limit returns the hard budget in rows (0 = unlimited).
 func (b *Budget) Limit() int {
@@ -71,33 +92,49 @@ func (b *Budget) Limit() int {
 
 // TryReserve attempts to reserve n more resident rows. It returns false —
 // without reserving anything — when the reservation would cross the
-// threshold; the caller should spill and Release what it holds.
+// local threshold or exhaust the attached pool; the caller should spill
+// and Release what it holds.
 func (b *Budget) TryReserve(n int) bool {
 	if b.Unlimited() {
 		return true
 	}
-	for {
-		cur := b.used.Load()
-		next := cur + int64(n)
-		if next > b.soft {
-			return false
+	if b.limit > 0 {
+		for {
+			cur := b.used.Load()
+			next := cur + int64(n)
+			if next > b.soft {
+				return false
+			}
+			if b.used.CompareAndSwap(cur, next) {
+				b.latchMax(next)
+				break
+			}
 		}
-		if b.used.CompareAndSwap(cur, next) {
-			b.latchMax(next)
-			return true
-		}
+	} else {
+		// Pool-only budget: track usage so Release stays symmetric.
+		b.latchMax(b.used.Add(int64(n)))
 	}
+	if b.pool != nil && !b.pool.TryReserve(n) {
+		// Roll the local reservation back: nothing was admitted.
+		b.used.Add(-int64(n))
+		return false
+	}
+	return true
 }
 
 // ForceReserve reserves n rows unconditionally. Operators use it for the
 // minimum working set they cannot make progress without (e.g. one build
 // chunk of a spilled join); it may overshoot the threshold under
-// concurrent pressure, which the headroom absorbs.
+// concurrent pressure, which the headroom absorbs. The overshoot is
+// charged to the pool as well, so its accounting stays exact.
 func (b *Budget) ForceReserve(n int) {
 	if b.Unlimited() {
 		return
 	}
 	b.latchMax(b.used.Add(int64(n)))
+	if b.pool != nil {
+		b.pool.ForceReserve(n)
+	}
 }
 
 // latchMax records a new reservation high-water mark.
@@ -110,7 +147,7 @@ func (b *Budget) latchMax(cur int64) {
 	}
 }
 
-// Release returns n reserved rows to the budget.
+// Release returns n reserved rows to the budget (and its pool).
 func (b *Budget) Release(n int) {
 	if b.Unlimited() || n == 0 {
 		return
@@ -119,6 +156,9 @@ func (b *Budget) Release(n int) {
 		// Releasing more than was reserved is a programming error upstream;
 		// clamp so accounting stays usable rather than wedging the query.
 		b.used.Store(0)
+	}
+	if b.pool != nil {
+		b.pool.Release(n)
 	}
 }
 

@@ -1,0 +1,114 @@
+package spill
+
+import "sync/atomic"
+
+// Pool is a deployment-wide resident-row pool shared by every query of
+// every session: the serving layer's global memory bound. Per-query
+// Budgets attach to it (Budget.WithPool) so each reservation is admitted
+// by both the query's own limit and the pool; when the pool is exhausted,
+// queries spill to disk instead of growing server memory — admission by
+// degradation, never an error.
+//
+// The unit is the resident row, the same unit Budget and
+// engine.ExecStats use, so the pool composes directly with
+// Options.MemBudgetRows: the per-query budget bounds one query's state,
+// the pool bounds the sum across concurrent queries.
+type Pool struct {
+	limit   int64
+	used    atomic.Int64
+	maxUsed atomic.Int64
+	refused atomic.Int64
+}
+
+// NewPool builds a pool of limit resident rows shared across queries.
+// limit <= 0 returns nil: no pooling (Budget.WithPool(nil) is a no-op).
+func NewPool(limit int) *Pool {
+	if limit <= 0 {
+		return nil
+	}
+	return &Pool{limit: int64(limit)}
+}
+
+// TryReserve attempts to reserve n rows from the pool. A refusal is
+// counted (metrics) and reserves nothing.
+func (p *Pool) TryReserve(n int) bool {
+	if p == nil {
+		return true
+	}
+	for {
+		cur := p.used.Load()
+		next := cur + int64(n)
+		if next > p.limit {
+			p.refused.Add(1)
+			return false
+		}
+		if p.used.CompareAndSwap(cur, next) {
+			p.latchMax(next)
+			return true
+		}
+	}
+}
+
+// ForceReserve charges n rows unconditionally (the minimum working set a
+// spilled operator cannot progress without); the overshoot keeps the
+// pool's accounting exact rather than letting forced state go untracked.
+func (p *Pool) ForceReserve(n int) {
+	if p == nil {
+		return
+	}
+	p.latchMax(p.used.Add(int64(n)))
+}
+
+// Release returns n rows to the pool.
+func (p *Pool) Release(n int) {
+	if p == nil || n == 0 {
+		return
+	}
+	if p.used.Add(-int64(n)) < 0 {
+		// Over-release is an upstream pairing bug; clamp so the pool stays
+		// usable instead of silently inflating future admissions.
+		p.used.Store(0)
+	}
+}
+
+func (p *Pool) latchMax(cur int64) {
+	for {
+		old := p.maxUsed.Load()
+		if cur <= old || p.maxUsed.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// Limit returns the pool bound in rows (0 when the pool is nil).
+func (p *Pool) Limit() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.limit)
+}
+
+// Used reports the rows currently reserved across all attached budgets.
+func (p *Pool) Used() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.used.Load())
+}
+
+// MaxUsed reports the pool's reservation high-water mark.
+func (p *Pool) MaxUsed() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.maxUsed.Load())
+}
+
+// Refused reports how many reservations the pool has turned down — each
+// one a spill forced by global (not per-query) memory pressure.
+func (p *Pool) Refused() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.refused.Load()
+}

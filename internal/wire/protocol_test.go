@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"io"
 	"math/big"
 	"net"
@@ -164,10 +165,61 @@ func TestOpStrings(t *testing.T) {
 	for op, want := range map[Op]string{
 		OpExec: "Exec", OpHello: "Hello", OpPrepare: "Prepare",
 		OpExecute: "Execute", OpFetch: "Fetch", OpClose: "Close", OpReset: "Reset",
-		Op(99): "Op(99)",
+		OpExecuteDirect: "ExecuteDirect",
+		Op(99):          "Op(99)",
 	} {
 		if got := op.String(); got != want {
 			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+// TestMaxFrameRejectsOversize encodes one frame far past the limit and
+// checks the reader refuses it with ErrFrameTooLarge instead of buffering
+// the whole thing — the OOM guard for a hostile or broken peer. A second
+// conn with the limit disabled reads the same bytes fine, proving the
+// rejection comes from the limiter rather than the payload.
+func TestMaxFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	sender := NewConn(&buf)
+	big := &Request{SQL: string(bytes.Repeat([]byte("x"), 1<<20))}
+	if err := sender.SendRequest(big); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+
+	limited := NewConnMaxFrame(readWriter{bytes.NewReader(raw), io.Discard}, 64<<10)
+	if _, err := limited.ReadRequest(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize frame: got %v, want ErrFrameTooLarge", err)
+	}
+
+	open := NewConn(readWriter{bytes.NewReader(raw), io.Discard})
+	got, err := open.ReadRequest()
+	if err != nil || len(got.SQL) != 1<<20 {
+		t.Fatalf("unlimited read of the same bytes failed: %v", err)
+	}
+}
+
+// TestMaxFrameAllowsNormalTraffic runs a multi-frame exchange under a
+// modest limit: the per-frame allowance must reset between frames, so a
+// long-lived session never trips on cumulative volume.
+func TestMaxFrameAllowsNormalTraffic(t *testing.T) {
+	var buf bytes.Buffer
+	sender := NewConn(&buf)
+	payload := string(bytes.Repeat([]byte("y"), 24<<10))
+	for i := 0; i < 20; i++ { // 20 × 24 KiB ≫ the 64 KiB per-frame cap
+		if err := sender.SendRequest(&Request{Op: OpPrepare, Ver: ProtocolV2, SQL: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	limited := NewConnMaxFrame(readWriter{bytes.NewReader(buf.Bytes()), io.Discard}, 64<<10)
+	for i := 0; i < 20; i++ {
+		got, err := limited.ReadRequest()
+		if err != nil {
+			t.Fatalf("frame %d under limit rejected: %v", i, err)
+		}
+		if got.SQL != payload {
+			t.Fatalf("frame %d corrupted", i)
 		}
 	}
 }

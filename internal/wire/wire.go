@@ -3,17 +3,23 @@
 // MSP). Requests carry rewritten SQL text; responses carry encrypted
 // result tables. Encoding is gob with big.Ints serialised as bytes.
 //
-// Two protocol versions share the frame types. Version 0 is the original
-// single-shot exchange: a Request carrying only SQL, answered by one
-// Response carrying the whole result. Version 1 adds sessions and
+// Three protocol versions share the frame types. Version 0 is the
+// original single-shot exchange: a Request carrying only SQL, answered by
+// one Response carrying the whole result. Version 1 adds sessions and
 // streaming: OpHello negotiates the version, OpPrepare registers a
 // statement, OpExecute starts a cursor and returns the first RowBatch
 // frame (a Response with Rows plus an EOS end-of-stream marker), OpFetch
-// pulls subsequent batches, and OpClose frees the statement. Because gob
+// pulls subsequent batches, and OpClose frees the statement. Version 2
+// adds the fused one-shot, OpExecuteDirect: prepare + execute + first
+// batch in a single round trip, with the server auto-closing the
+// statement when the stream ends — so a one-shot remote statement costs
+// one round trip instead of Prepare/Execute/Close's three. Because gob
 // omits zero-valued fields and ignores unknown ones, a v0 Request decodes
-// on a v1 server as Op == OpExec, and a v1 Hello decodes on a v0 server as
-// an (erroring) single-shot — which the dialer detects and treats as
-// "legacy server", falling back to v0 framing.
+// on a v1+ server as Op == OpExec, and a v1 Hello decodes on a v0 server
+// as an (erroring) single-shot — which the dialer detects and treats as
+// "legacy server", falling back to v0 framing. A v2 client on a v1
+// server is downgraded by the Hello answer and simply never sends the
+// fused op.
 //
 // In the stack (docs/architecture.md) this layer sits between the
 // proxy's rewrite and the server's sessions: everything that crosses it
@@ -25,6 +31,7 @@ package wire
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -34,10 +41,12 @@ import (
 )
 
 // Protocol versions. ProtocolV1 adds sessions, prepared statements and
-// chunked row streaming.
+// chunked row streaming; ProtocolV2 adds the fused one-shot
+// OpExecuteDirect.
 const (
 	ProtocolV0 uint8 = 0
 	ProtocolV1 uint8 = 1
+	ProtocolV2 uint8 = 2
 )
 
 // Op selects the request type. The zero value is the legacy single-shot
@@ -64,6 +73,12 @@ const (
 	// OpReset closes a statement's open cursor (abandoning the stream)
 	// while keeping the statement prepared for re-execution.
 	OpReset
+	// OpExecuteDirect (v2) fuses prepare + execute + first batch into one
+	// frame. If the first batch carries EOS (or an error) the statement is
+	// already gone server-side and the response's StmtID is zero; otherwise
+	// the statement id addresses OpFetch, and the server auto-closes the
+	// statement when the stream reaches EOS or fails.
+	OpExecuteDirect
 )
 
 func (o Op) String() string {
@@ -82,6 +97,8 @@ func (o Op) String() string {
 		return "Close"
 	case OpReset:
 		return "Reset"
+	case OpExecuteDirect:
+		return "ExecuteDirect"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -223,20 +240,76 @@ func ToResult(resp *Response) *engine.Result {
 	return r
 }
 
+// ErrFrameTooLarge reports an incoming frame that exceeded the
+// connection's frame-size limit. The gob stream is unrecoverable past
+// this point (the decoder's state is mid-frame); the connection must be
+// dropped.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// limitedReader meters bytes flowing into the gob decoder. The allowance
+// is reset before each frame; hitting zero trips the reader, which then
+// refuses further reads with ErrFrameTooLarge. Unlike io.LimitedReader it
+// returns a distinguishable error (not io.EOF) and is reusable across
+// frames.
+type limitedReader struct {
+	r       io.Reader
+	n       int64 // bytes remaining in the current frame's allowance
+	max     int64 // allowance restored by reset; <= 0 disables metering
+	tripped bool
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.max <= 0 {
+		return l.r.Read(p)
+	}
+	if l.n <= 0 {
+		l.tripped = true
+		return 0, ErrFrameTooLarge
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+func (l *limitedReader) reset() {
+	l.n = l.max
+	l.tripped = false
+}
+
 // Conn frames requests/responses over a stream.
 type Conn struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
 	bw  *bufio.Writer
+	lim *limitedReader
 }
 
-// NewConn wraps a stream.
+// NewConn wraps a stream with no frame-size limit.
 func NewConn(rw io.ReadWriter) *Conn {
+	return NewConnMaxFrame(rw, 0)
+}
+
+// NewConnMaxFrame wraps a stream and caps each incoming frame at roughly
+// maxFrame bytes (0 = unlimited): the read allowance is reset before
+// every decode, so one oversized frame cannot stream unbounded data into
+// the process. The cap is approximate — a buffered read may pre-fetch a
+// few KiB of the next frame against the current allowance, and a frame
+// whose gob length prefix lies about its size still costs gob's own
+// message-size bound transiently — so choose limits well above the
+// buffer granularity (≥ 64 KiB). A tripped limit poisons the gob stream;
+// the caller must drop the connection after ErrFrameTooLarge.
+func NewConnMaxFrame(rw io.ReadWriter, maxFrame int) *Conn {
 	bw := bufio.NewWriter(rw)
+	lim := &limitedReader{r: rw, max: int64(maxFrame)}
+	lim.reset()
 	return &Conn{
 		enc: gob.NewEncoder(bw),
-		dec: gob.NewDecoder(bufio.NewReader(rw)),
+		dec: gob.NewDecoder(bufio.NewReader(lim)),
 		bw:  bw,
+		lim: lim,
 	}
 }
 
@@ -250,8 +323,12 @@ func (c *Conn) SendRequest(req *Request) error {
 
 // ReadRequest reads one request.
 func (c *Conn) ReadRequest() (*Request, error) {
+	c.lim.reset()
 	var req Request
 	if err := c.dec.Decode(&req); err != nil {
+		if c.lim.tripped {
+			return nil, ErrFrameTooLarge
+		}
 		return nil, err
 	}
 	return &req, nil
@@ -267,8 +344,12 @@ func (c *Conn) SendResponse(resp *Response) error {
 
 // ReadResponse reads one response.
 func (c *Conn) ReadResponse() (*Response, error) {
+	c.lim.reset()
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
+		if c.lim.tripped {
+			return nil, ErrFrameTooLarge
+		}
 		return nil, err
 	}
 	return &resp, nil

@@ -8,7 +8,10 @@
 # race-detected crash-recovery/durability pass (kill-point differential
 # harness + SIGKILL subprocess test), a race-detected Montgomery-core
 # pass (shared MontCtx / TokenApplier under concurrent workers), a
-# batch-vs-scalar token-application differential gate, and a short fuzz
+# batch-vs-scalar token-application differential gate, a race-detected
+# concurrent-serving pass (multi-driver storm against an
+# admission-limited, pool-budgeted server), a live-server smoke that
+# curls /healthz and asserts nonzero /metrics counters, and a short fuzz
 # smoke over every fuzz target (parser, proxy pipeline, wire encoding,
 # WAL records, Montgomery multiply/exponentiate vs math/big).
 #
@@ -111,6 +114,56 @@ echo "== Montgomery core under the race detector"
 # chunks — the exact sharing discipline the engine's chunked UPDATE path
 # and the proxy's parallel decrypt path rely on.
 go test -race ${SHORT_FLAG} -run Mont ./internal/bigmod ./internal/secure
+
+echo "== concurrent serving suite under the race detector"
+# The multi-driver serving storm and the engine-side pool tests again,
+# race detector on: 12 concurrent drivers against one admission-limited
+# server sharing a global resident-row pool, half of them disconnecting
+# mid-stream, with the statement ledger and pool accounting asserted to
+# balance afterwards. The -count=1 defeats test caching so the
+# interleavings are fresh every CI run.
+go test -race -count=1 -run 'Concurrent|BudgetPool|StmtClose' \
+  ./internal/server ./internal/engine ./internal/spill
+
+echo "== serving smoke (live sdb-server: /healthz + /metrics)"
+# Build the real binaries, boot a server with the metrics endpoint, push
+# one session of traffic through the shell client, and assert the health
+# and metrics endpoints report it: /healthz says ok, and the session /
+# byte counters are nonzero (a broken countingConn or metrics mux would
+# serve zeros). Uses fixed loopback ports; override with SDB_SMOKE_PORT
+# if they clash on a shared runner.
+SMOKE_PORT="${SDB_SMOKE_PORT:-7391}"
+SMOKE_METRICS_PORT=$((SMOKE_PORT + 1))
+SMOKE_DIR=$(mktemp -d)
+go build -o "$SMOKE_DIR/sdb" ./cmd/sdb
+go build -o "$SMOKE_DIR/sdb-server" ./cmd/sdb-server
+(cd "$SMOKE_DIR" && ./sdb keygen -bits 512 >/dev/null)
+"$SMOKE_DIR/sdb-server" -listen "127.0.0.1:${SMOKE_PORT}" \
+  -public "$SMOKE_DIR/sp.pub" -metrics-addr "127.0.0.1:${SMOKE_METRICS_PORT}" \
+  -max-sessions 16 -idle-timeout 30s &
+SMOKE_PID=$!
+trap 'kill "$SMOKE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+for i in $(seq 1 50); do
+  if curl -fsS "http://127.0.0.1:${SMOKE_METRICS_PORT}/healthz" 2>/dev/null | grep -q ok; then
+    break
+  fi
+  sleep 0.1
+  if [[ "$i" == 50 ]]; then echo "server never became healthy"; exit 1; fi
+done
+printf 'CREATE TABLE smoke (a INT, v INT SENSITIVE);\nINSERT INTO smoke VALUES (1, 10), (2, 20);\nSELECT a, v FROM smoke;\n\\q\n' \
+  | "$SMOKE_DIR/sdb" shell -server "127.0.0.1:${SMOKE_PORT}" -secret "$SMOKE_DIR/do.key" >/dev/null
+METRICS=$(curl -fsS "http://127.0.0.1:${SMOKE_METRICS_PORT}/metrics")
+for counter in sdb_sessions_total sdb_frames_in_total sdb_bytes_in_total sdb_bytes_out_total; do
+  if ! echo "$METRICS" | grep -E "^${counter} [1-9]" >/dev/null; then
+    echo "metrics smoke: ${counter} is zero or missing:"
+    echo "$METRICS"
+    exit 1
+  fi
+done
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+rm -rf "$SMOKE_DIR"
 
 echo "== bench smoke (peak-resident-rows + spill-budget assertions)"
 # One iteration of the streaming-memory benchmarks: BenchmarkStreamScan
