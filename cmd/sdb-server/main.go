@@ -53,6 +53,7 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for spill temp files (default SDB_SPILL_DIR or the system temp dir)")
 	spillPar := flag.Int("spill-parallel", 0, "concurrent spilled-partition tasks per query (0 = SDB_SPILL_PARALLEL or -parallel, 1 = serial spill schedule)")
 	planner := flag.String("planner", "", "planner pass mode: on, off, or empty for the SDB_PLANNER default (on when unset)")
+	mvcc := flag.String("mvcc", "", "MVCC snapshot reads: on, off (legacy statement lock), or empty for the SDB_MVCC default (on when unset)")
 	dataDir := flag.String("data-dir", os.Getenv("SDB_DATA_DIR"), "durable data directory: WAL + checkpoints; recovery runs before serving (default SDB_DATA_DIR; empty = in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", 1024, "WAL records between automatic checkpoints (0 = only at shutdown; needs -data-dir)")
 	fsync := flag.String("fsync", wal.FsyncAlways, "WAL fsync policy: always (per statement), interval (background flusher), never")
@@ -81,6 +82,7 @@ func main() {
 		Parallelism: *par, ChunkSize: *chunk,
 		MemBudgetRows: *memBudget, SpillDir: *spillDir,
 		SpillParallelism: *spillPar, Planner: *planner,
+		MVCC:       *mvcc,
 		BudgetPool: spill.NewPool(*globalBudget),
 	}
 

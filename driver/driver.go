@@ -177,6 +177,7 @@ func (c *Connector) proxy() (*proxy.Proxy, error) {
 			Parallelism: opts.Parallelism, ChunkSize: opts.ChunkSize,
 			MemBudgetRows: atoiDefault(q.Get("mem_budget"), 0),
 			Planner:       q.Get("planner"),
+			MVCC:          q.Get("mvcc"),
 		}
 		if dataDir := q.Get("data_dir"); dataDir != "" {
 			return c.durableMemProxy(dataDir, bits, q, engOpts, opts)

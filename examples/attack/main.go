@@ -66,7 +66,7 @@ func main() {
 
 	fmt.Println("\n== brute force against one share")
 	tbl, _ := sp.Catalog().Get("vault")
-	share := tbl.Cols[tbl.Schema.Find("amount")][0]
+	share := tbl.Load().Cols[tbl.Schema.Find("amount")][0]
 	candidates := []int64{1, 42, 7777777, 123456, -3141592}
 	consistent := attack.BruteForceShare(share.B, secret.N(), candidates)
 	fmt.Printf("   %d/%d candidate plaintexts are consistent with the observed share —\n", consistent, len(candidates))

@@ -50,14 +50,15 @@ func main() {
 
 	fmt.Println("== what the attacker sees on the SP's disk (balance shares):")
 	tbl, _ := sp.Catalog().Get("accounts")
+	ver := tbl.Load()
 	balIdx := tbl.Schema.Find("balance")
 	shares := map[string]bool{}
-	for i := 0; i < tbl.NumRows(); i++ {
-		share := tbl.Cols[balIdx][i]
+	for i := 0; i < ver.NumRows(); i++ {
+		share := ver.Cols[balIdx][i]
 		fmt.Printf("   row %d: %.32s…\n", i+1, share.B.Text(16))
 		shares[share.B.String()] = true
 	}
-	if len(shares) == tbl.NumRows() {
+	if len(shares) == ver.NumRows() {
 		fmt.Println("   all shares distinct: the attacker's known 5000s do NOT link to the victim")
 	} else {
 		fmt.Println("   !! ciphertext collision — CPA attack succeeds")

@@ -51,11 +51,12 @@ func ScanCatalog(cat *storage.Catalog, sentinels []int64) *Report {
 		if err != nil {
 			continue
 		}
+		ver := t.Load()
 		for ci, col := range t.Schema.Columns {
 			if !col.Type.Sensitive {
 				continue // insensitive columns hold plaintext by design
 			}
-			for ri, v := range t.Cols[ci] {
+			for ri, v := range ver.Cols[ci] {
 				rep.CellsScanned++
 				if hit, s := matches(v, sset); hit {
 					rep.Findings = append(rep.Findings, Finding{
@@ -65,7 +66,7 @@ func ScanCatalog(cat *storage.Catalog, sentinels []int64) *Report {
 				}
 			}
 		}
-		for ri, r := range t.RowEnc {
+		for ri, r := range ver.RowEnc {
 			rep.CellsScanned++
 			if r != nil && r.IsInt64() && sset[r.Int64()] {
 				rep.Findings = append(rep.Findings, Finding{

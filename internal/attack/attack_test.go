@@ -88,9 +88,10 @@ func TestScannerDetectsDeliberateLeak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Overwrite one stored share with the raw plaintext value.
+	// Overwrite one stored share with the raw plaintext value (mutating
+	// the published version in place, as on-disk corruption would).
 	idx := tbl.Schema.Find("amount")
-	tbl.Cols[idx][0].B = big.NewInt(7777777)
+	tbl.Load().Cols[idx][0].B = big.NewInt(7777777)
 	rep := ScanCatalog(eng.Catalog(), sentinels)
 	if rep.Clean() {
 		t.Fatal("scanner missed a planted plaintext")

@@ -64,6 +64,9 @@ func (c *Client) Run(sql string) (res *proxy.Result, rowsShipped int, err error)
 			return nil, 0, err
 		}
 	}
+	// Tables were registered directly in the catalog, bypassing the
+	// statement path that re-pins the engine's MVCC snapshot at commit.
+	local.RefreshCatalog()
 
 	r, err := local.Execute(sel)
 	if err != nil {

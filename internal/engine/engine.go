@@ -62,6 +62,12 @@ const (
 	// is empty: "off" (also "0"/"false") disables the planning pass,
 	// anything else — including unset — leaves it on.
 	PlannerEnv = "SDB_PLANNER"
+	// MVCCEnv is the default MVCC mode applied when Options.MVCC is
+	// empty: "off" (also "0"/"false") restores the legacy engine-wide
+	// statement lock — writers exclude readers — as a differential
+	// reference; anything else, including unset, keeps per-table MVCC
+	// snapshot reads on.
+	MVCCEnv = "SDB_MVCC"
 )
 
 // Engine executes statements against a catalog.
@@ -89,29 +95,44 @@ type Engine struct {
 	// query budget attaches to: the serving layer's global memory bound
 	// over concurrent sessions (nil = per-query budgets only).
 	budgetPool *spill.Pool
-	// execMu serializes writers (CREATE/INSERT/UPDATE) against readers.
-	// SELECTs share the read lock and hold it only while planning: every
-	// scanOp snapshots its table's column-slice headers under the lock,
-	// and those arrays stay immutable afterwards — INSERT only appends
-	// past snapshot lengths and UPDATE swaps in freshly-built column
-	// slices copy-on-write (see execUpdate) — so streaming iterators
-	// execute lock-free over consistent snapshots. Writers must never
-	// mutate stored column slices in place. The lock is taken only at
-	// public entry points (Execute, Stmt.Query) — the internal recursion
-	// (subqueries in FROM) runs lock-free under the caller's hold, which
-	// keeps the RWMutex non-reentrant-safe.
-	execMu sync.RWMutex
+	// Concurrency control (see snapshot.go for the full protocol).
+	//
+	// MVCC mode (the default): readers never take a lock — SELECT
+	// planning pins the engine-wide catalog snapshot (snap) with one
+	// atomic load and streams immutable table versions. Writers
+	// serialize per target table (storage.Table.LockWriter) while
+	// building the next version, then serialize globally only for the
+	// tiny commit step (commitMu: WAL log + atomic publish + snapshot
+	// rebuild). Lock order is always table writer lock → commitMu.
+	//
+	// Legacy mode (Options.MVCC / SDB_MVCC "off"): execMu restores the
+	// old engine-wide statement lock — writers take it exclusively for
+	// the whole statement, SELECTs share it while planning — as the
+	// differential reference for CI. The snapshot machinery still runs
+	// identically underneath; only the reader/writer exclusion differs.
+	mvccOff  bool
+	execMu   sync.RWMutex
+	commitMu sync.Mutex
+	// snap is the engine-wide catalog snapshot: the committed set of
+	// (table, version) pairs, rebuilt under commitMu at every commit.
+	// One atomic load pins a prefix-consistent view of the whole serial
+	// write history (snapshot.go).
+	snap atomic.Pointer[Snapshot]
+	// commitHook, when set, observes commit phases (deterministic
+	// torn-read, no-stall and kill-point tests; see SetCommitHook).
+	commitHook hookPtr
 	// dur is the pluggable persistence layer. Write paths follow
-	// log-before-apply: validate fully, log one record, then mutate the
-	// catalog (the mutation cannot fail post-validation). nil keeps the
-	// engine purely in-memory. Hooks run under execMu's write lock, so the
-	// catalog is quiescent while the layer snapshots it.
+	// log-before-apply: validate fully, log one record, then publish the
+	// prepared version (the publish cannot fail post-validation). nil
+	// keeps the engine purely in-memory. Log hooks run under commitMu,
+	// so the published version set is quiescent while the layer
+	// snapshots it — readers and version builders are unaffected.
 	dur storage.Durability
 	// rotGen/catGen mirror the proxy's plan-cache generation counters so
 	// they can be persisted with every WAL record and survive restarts:
 	// catGen advances on CREATE/INSERT/DROP and plain UPDATEs, rotGen on
-	// key-rotation UPDATEs (sdb_keyupdate in a SET expression). Only read
-	// outside execMu (Generations), hence atomics.
+	// key-rotation UPDATEs (sdb_keyupdate in a SET expression). Written
+	// under commitMu, read anywhere (Generations), hence atomics.
 	rotGen, catGen atomic.Uint64
 }
 
@@ -156,6 +177,14 @@ type Options struct {
 	// unsized), which is the reference side of the planner differential
 	// suite.
 	Planner string
+	// MVCC selects the concurrency mode: "" means the SDB_MVCC
+	// environment default (on when unset), "on" forces per-table MVCC
+	// snapshot reads, and "off" restores the legacy engine-wide
+	// statement lock (writers exclude readers for the whole statement).
+	// Reads pin identical snapshots either way — "off" only changes who
+	// waits for whom — which is why CI re-runs the engine suite with it
+	// as a differential.
+	MVCC string
 }
 
 // New builds an engine over the catalog with default (GOMAXPROCS-wide)
@@ -172,6 +201,7 @@ func NewWithOptions(catalog *storage.Catalog, n *big.Int, opts Options) *Engine 
 	if n != nil {
 		e.half = new(big.Int).Rsh(n, 1)
 	}
+	e.publishSnapshot()
 	return e
 }
 
@@ -186,14 +216,18 @@ func NewWithDurability(catalog *storage.Catalog, n *big.Int, opts Options, dur s
 		g := dur.Recovered()
 		e.rotGen.Store(g.Rotation)
 		e.catGen.Store(g.Catalog)
+		// Re-pin the snapshot so its generation stamps carry the
+		// recovered counters, not zeros.
+		e.publishSnapshot()
 	}
 	return e
 }
 
-// Checkpoint forces a durability checkpoint under the statement write
-// lock, so the snapshot sees a quiescent catalog with no half-applied
-// statement (graceful-shutdown path). No-op without a durability layer or
-// when the layer has no Checkpoint method.
+// Checkpoint forces a durability checkpoint under the commit lock, so the
+// snapshot sees a quiescent published version set with no half-committed
+// statement (graceful-shutdown path) — readers keep streaming and writers
+// keep building throughout; only commits wait. No-op without a durability
+// layer or when the layer has no Checkpoint method.
 func (e *Engine) Checkpoint() error {
 	if e.dur == nil {
 		return nil
@@ -202,8 +236,12 @@ func (e *Engine) Checkpoint() error {
 	if !ok {
 		return nil
 	}
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
+	if e.mvccOff {
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
 	return cp.Checkpoint()
 }
 
@@ -281,10 +319,16 @@ func (e *Engine) applyOptions(opts Options) {
 		mode = os.Getenv(PlannerEnv)
 	}
 	e.plannerOff = plannerDisabled(mode)
+	mvcc := opts.MVCC
+	if mvcc == "" {
+		mvcc = os.Getenv(MVCCEnv)
+	}
+	e.mvccOff = plannerDisabled(mvcc)
 }
 
-// plannerDisabled interprets a planner mode string ("off", "0", "false",
-// "no" and "disabled" all turn the pass off; everything else leaves it on).
+// plannerDisabled interprets an on/off mode string ("off", "0", "false",
+// "no" and "disabled" all turn the feature off; everything else leaves it
+// on). Shared by the planner and MVCC knobs.
 func plannerDisabled(mode string) bool {
 	switch strings.ToLower(strings.TrimSpace(mode)) {
 	case "off", "0", "false", "no", "disabled":
@@ -308,8 +352,12 @@ type Result struct {
 	Rows    []types.Row
 }
 
-// Execute runs a parsed statement. Writers are serialized against
-// concurrent readers; SELECTs run concurrently with each other.
+// Execute runs a parsed statement. SELECTs pin a catalog snapshot and
+// never wait on writers; writers serialize per target table and only meet
+// each other (and checkpoints) at the commit step. In legacy mode
+// (Options.MVCC "off") writers additionally take the engine-wide
+// statement lock exclusively, restoring the old readers-wait-for-writers
+// discipline.
 func (e *Engine) Execute(stmt sqlparser.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.CreateTable:
@@ -321,31 +369,28 @@ func (e *Engine) Execute(stmt sqlparser.Statement) (*Result, error) {
 	case *sqlparser.DropTable:
 		return e.execWrite(func() (*Result, error) { return e.execDrop(s) })
 	case *sqlparser.Select:
-		e.execMu.RLock()
-		defer e.execMu.RUnlock()
+		if e.mvccOff {
+			e.execMu.RLock()
+			defer e.execMu.RUnlock()
+		}
 		return e.execSelect(s)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 }
 
-// execWrite runs one write statement under the write lock and, once the
-// statement has been logged and applied, gives the durability layer its
-// checkpoint opportunity — after the apply, so a checkpoint's snapshot
-// always contains the record whose LSN it claims.
+// execWrite wraps one write statement in the legacy engine-wide statement
+// lock when MVCC is off. In MVCC mode it adds nothing: the statement's
+// own per-table writer lock and the commit protocol (snapshot.go) carry
+// all the synchronization, and the durability layer's checkpoint
+// opportunity fires inside commit, after the publish — so a checkpoint's
+// snapshot always contains the record whose LSN it claims.
 func (e *Engine) execWrite(fn func() (*Result, error)) (*Result, error) {
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
-	res, err := fn()
-	if err != nil {
-		return nil, err
+	if e.mvccOff {
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
 	}
-	if e.dur != nil {
-		if err := e.dur.MaybeCheckpoint(); err != nil {
-			return nil, fmt.Errorf("engine: checkpoint: %w", err)
-		}
-	}
-	return res, nil
+	return fn()
 }
 
 // execUpdate evaluates SET expressions against each (optionally filtered)
@@ -358,7 +403,15 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel := scanTable(t, s.Table)
+	// Serialize against this table's other writers for the whole
+	// build-and-commit; readers and writers of other tables proceed.
+	t.LockWriter()
+	defer t.UnlockWriter()
+	if t.Dropped() {
+		return nil, fmt.Errorf("storage: no such table %q", s.Table)
+	}
+	ver := t.Load()
+	rel := scanVersion(t, ver, s.Table)
 	ctx := e.evalCtx()
 
 	type setOp struct {
@@ -392,13 +445,14 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 		}
 	}
 
-	// Copy-on-write: updates build fresh column slices and swap them in
-	// after success, so streaming scans that snapshotted the old headers
-	// (scanOp) keep reading an immutable, consistent version lock-free.
+	// Copy-on-write: updates build fresh column slices off to the side
+	// and publish them as the table's next version in one atomic swap,
+	// so readers pinned on any earlier version keep streaming an
+	// immutable, consistent state lock-free.
 	newCols := make(map[int][]types.Value, len(sets))
 	for _, set := range sets {
 		if _, ok := newCols[set.colIdx]; !ok {
-			newCols[set.colIdx] = append([]types.Value(nil), t.Cols[set.colIdx]...)
+			newCols[set.colIdx] = append([]types.Value(nil), ver.Cols[set.colIdx]...)
 		}
 	}
 
@@ -478,20 +532,27 @@ func (e *Engine) execUpdate(s *sqlparser.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := e.nextGens(updateIsRotation(s))
-	if e.dur != nil {
-		// Log the fully-evaluated replacement columns (not the SET
-		// expressions): replay is a plain swap that cannot diverge from
-		// what this evaluation produced — in particular, re-keyed shares
-		// from a rotation land on the log already re-keyed.
-		if err := e.dur.LogUpdate(t.Name, newCols, g); err != nil {
-			return nil, err
-		}
+	next, err := t.SwapColsLocked(newCols)
+	if err != nil {
+		return nil, err
 	}
-	for idx, col := range newCols {
-		t.Cols[idx] = col
+	// Log the fully-evaluated replacement columns (not the SET
+	// expressions): replay is a plain swap that cannot diverge from what
+	// this evaluation produced — in particular, re-keyed shares from a
+	// rotation land on the log already re-keyed.
+	err = e.commit(t.Name, updateIsRotation(s),
+		func() error {
+			if t.Dropped() {
+				return fmt.Errorf("storage: no such table %q", s.Table)
+			}
+			return nil
+		},
+		func(g storage.Generations) error { return e.dur.LogUpdate(t.Name, newCols, g) },
+		func() error { t.PublishLocked(next); return nil },
+	)
+	if err != nil {
+		return nil, err
 	}
-	e.commitGens(g)
 	return &Result{
 		Columns: []ResultColumn{{Name: "updated", Kind: types.KindInt}},
 		Rows:    []types.Row{{types.NewInt(updated.Load())}},
@@ -598,40 +659,50 @@ func (e *Engine) execCreate(s *sqlparser.CreateTable) (*Result, error) {
 		return nil, err
 	}
 	t := storage.NewTable(s.Name, schema)
-	// Pre-check existence so a duplicate CREATE fails before it is logged
-	// (apply must not be able to fail once the record is on the WAL).
-	if _, err := e.catalog.Get(s.Name); err == nil {
-		return nil, fmt.Errorf("storage: table %q already exists", s.Name)
-	}
-	g := e.nextGens(false)
-	if e.dur != nil {
-		if err := e.dur.LogCreate(t, g); err != nil {
-			return nil, err
-		}
-	}
-	if err := e.catalog.Create(t); err != nil {
+	// The existence check runs inside the commit critical section so a
+	// duplicate CREATE fails before it is logged (apply must not be able
+	// to fail once the record is on the WAL), even against a concurrent
+	// CREATE of the same name.
+	err = e.commit(s.Name, false,
+		func() error {
+			if _, err := e.catalog.Get(s.Name); err == nil {
+				return fmt.Errorf("storage: table %q already exists", s.Name)
+			}
+			return nil
+		},
+		func(g storage.Generations) error { return e.dur.LogCreate(t, g) },
+		func() error { return e.catalog.Create(t) },
+	)
+	if err != nil {
 		return nil, err
 	}
-	e.commitGens(g)
 	return &Result{}, nil
 }
 
 // execDrop removes a table. The proxy discards the table's keys on its
 // side; the engine only has the stored shares to forget.
 func (e *Engine) execDrop(s *sqlparser.DropTable) (*Result, error) {
-	if _, err := e.catalog.Get(s.Name); err != nil {
+	var t *storage.Table
+	err := e.commit(s.Name, false,
+		func() error {
+			var err error
+			t, err = e.catalog.Get(s.Name)
+			return err
+		},
+		func(g storage.Generations) error { return e.dur.LogDrop(s.Name, g) },
+		func() error {
+			// Mark first: a writer mid-build on this table re-checks the
+			// flag at its own commit and aborts instead of logging a
+			// record against a name that may since be re-created.
+			// Readers pinned on an older snapshot keep streaming the
+			// dropped version untouched.
+			t.MarkDropped()
+			return e.catalog.Drop(s.Name)
+		},
+	)
+	if err != nil {
 		return nil, err
 	}
-	g := e.nextGens(false)
-	if e.dur != nil {
-		if err := e.dur.LogDrop(s.Name, g); err != nil {
-			return nil, err
-		}
-	}
-	if err := e.catalog.Drop(s.Name); err != nil {
-		return nil, err
-	}
-	e.commitGens(g)
 	return &Result{}, nil
 }
 
@@ -669,9 +740,9 @@ func (e *Engine) execInsert(s *sqlparser.Insert) (*Result, error) {
 		}
 	}
 	// Build and validate every row before touching the table, so an error
-	// mid-statement leaves no partial insert behind and the durability
-	// layer can log the whole batch as one record (one fsync) before any
-	// row lands in memory.
+	// mid-statement leaves no partial insert behind, the durability layer
+	// can log the whole batch as one record (one fsync) before any row is
+	// published, and readers observe the batch all-or-nothing.
 	rows := make([]types.Row, 0, len(s.Rows))
 	rowEncs := make([]*big.Int, 0, len(s.Rows))
 	helpers := make([]*big.Int, 0, len(s.Rows))
@@ -712,18 +783,25 @@ func (e *Engine) execInsert(s *sqlparser.Insert) (*Result, error) {
 		rowEncs = append(rowEncs, rowEnc)
 		helpers = append(helpers, helper)
 	}
-	g := e.nextGens(false)
-	if e.dur != nil {
-		if err := e.dur.LogInsert(t.Name, rows, rowEncs, helpers, g); err != nil {
-			return nil, err
-		}
+	t.LockWriter()
+	defer t.UnlockWriter()
+	next, err := t.AppendLocked(rows, rowEncs, helpers)
+	if err != nil {
+		return nil, err
 	}
-	for i, row := range rows {
-		if err := t.Append(row, rowEncs[i], helpers[i]); err != nil {
-			return nil, err
-		}
+	err = e.commit(t.Name, false,
+		func() error {
+			if t.Dropped() {
+				return fmt.Errorf("storage: no such table %q", s.Table)
+			}
+			return nil
+		},
+		func(g storage.Generations) error { return e.dur.LogInsert(t.Name, rows, rowEncs, helpers, g) },
+		func() error { t.PublishLocked(next); return nil },
+	)
+	if err != nil {
+		return nil, err
 	}
-	e.commitGens(g)
 	return &Result{}, nil
 }
 

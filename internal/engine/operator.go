@@ -125,11 +125,11 @@ type ExecStats struct {
 
 // ---- scan ----------------------------------------------------------------
 
-// scanOp streams a stored table in batches. The column-slice headers are
-// snapshotted at construction (the planner runs under the engine's read
-// lock): appends past the snapshot length are invisible, and UPDATE swaps
-// whole column slices copy-on-write, so the snapshot stays immutable while
-// the scan streams lock-free.
+// scanOp streams one pinned table version in batches. The version is
+// immutable — writers publish successors by atomic pointer swap, never by
+// mutating published slices — so the scan streams lock-free and is
+// unaffected by any write that commits after the statement pinned its
+// snapshot.
 type scanOp struct {
 	schema []relCol
 	data   [][]types.Value
@@ -142,19 +142,17 @@ type scanOp struct {
 	pos int
 }
 
-// newScanOp snapshots the table under the caller's engine lock.
-func newScanOp(t *storage.Table, alias string, batch int) *scanOp {
-	rel := tableSchema(t, alias)
-	op := &scanOp{
-		schema: rel,
-		data:   make([][]types.Value, len(t.Cols)),
-		rowEnc: t.RowEnc,
-		helper: t.Helper,
-		nrows:  t.NumRows(),
+// newScanOp scans the given pinned version of t (from the statement's
+// catalog snapshot).
+func newScanOp(t *storage.Table, v *storage.Version, alias string, batch int) *scanOp {
+	return &scanOp{
+		schema: tableSchema(t, alias),
+		data:   v.Cols,
+		rowEnc: v.RowEnc,
+		helper: v.Helper,
+		nrows:  v.NumRows(),
 		batch:  batch,
 	}
-	copy(op.data, t.Cols)
-	return op
 }
 
 func (op *scanOp) columns() []relCol { return op.schema }

@@ -31,23 +31,24 @@ type queryPlan struct {
 // FROM and WHERE clauses plan as one unit: single-table WHERE conjuncts
 // push below the joins, comma-join equality conjuncts become hash-join
 // keys, and row-count estimates pick build sides and pre-size hash state
-// (see planner.go). Planning snapshots every scanned table, so the caller
-// must hold the engine's read lock; execution (open/next on the returned
-// tree) is then lock-free over immutable snapshots. The stage order after
-// the projection matches the legacy materialized pipeline (sort, then
-// dedup, then limit).
-func (e *Engine) planSelect(s *sqlparser.Select, qs *querySpill) (*queryPlan, error) {
+// (see planner.go). Every table reference — including subqueries in FROM,
+// which recurse with the same pin — resolves against the one snapshot the
+// statement pinned at start, so the whole tree reads a prefix-consistent
+// view and execution (open/next on the returned tree) is lock-free over
+// immutable versions. The stage order after the projection matches the
+// legacy materialized pipeline (sort, then dedup, then limit).
+func (e *Engine) planSelect(s *sqlparser.Select, snap *Snapshot, qs *querySpill) (*queryPlan, error) {
 	ctx := e.evalCtx()
 
 	// FROM + WHERE
 	var src planNode
 	var err error
 	if !e.plannerOff && s.Where != nil && len(s.From) > 0 {
-		if src, err = e.planFromWhere(s.From, s.Where, qs); err != nil {
+		if src, err = e.planFromWhere(s.From, s.Where, snap, qs); err != nil {
 			return nil, err
 		}
 	} else {
-		if src, err = e.planFrom(s.From, qs); err != nil {
+		if src, err = e.planFrom(s.From, snap, qs); err != nil {
 			return nil, err
 		}
 		if s.Where != nil {
@@ -135,14 +136,14 @@ func (e *Engine) planSelect(s *sqlparser.Select, qs *querySpill) (*queryPlan, er
 // refs cross-join left-deep; JOIN…ON plans hash or nested-loop joins).
 // WHERE-driven pushdown and comma-join conversion live in planFromWhere;
 // this path serves WHERE-less selects and the planner-off mode.
-func (e *Engine) planFrom(refs []sqlparser.TableRef, qs *querySpill) (planNode, error) {
+func (e *Engine) planFrom(refs []sqlparser.TableRef, snap *Snapshot, qs *querySpill) (planNode, error) {
 	if len(refs) == 0 {
 		// SELECT without FROM: a single empty row.
 		return planNode{op: &valuesOp{rows: []types.Row{{}}}, est: 1}, nil
 	}
 	var src planNode
 	for i, ref := range refs {
-		r, err := e.planRef(ref, qs)
+		r, err := e.planRef(ref, snap, qs)
 		if err != nil {
 			return planNode{}, err
 		}
@@ -155,10 +156,10 @@ func (e *Engine) planFrom(refs []sqlparser.TableRef, qs *querySpill) (planNode, 
 	return src, nil
 }
 
-func (e *Engine) planRef(ref sqlparser.TableRef, qs *querySpill) (planNode, error) {
+func (e *Engine) planRef(ref sqlparser.TableRef, snap *Snapshot, qs *querySpill) (planNode, error) {
 	switch r := ref.(type) {
 	case sqlparser.TableName:
-		t, err := e.catalog.Get(r.Name)
+		ent, err := snap.table(r.Name)
 		if err != nil {
 			return planNode{}, err
 		}
@@ -166,11 +167,11 @@ func (e *Engine) planRef(ref sqlparser.TableRef, qs *querySpill) (planNode, erro
 		if alias == "" {
 			alias = r.Name
 		}
-		op := newScanOp(t, alias, e.batchRows())
+		op := newScanOp(ent.t, ent.v, alias, e.batchRows())
 		return planNode{op: op, est: op.nrows}, nil
 
 	case *sqlparser.SubqueryRef:
-		sub, err := e.planSelect(r.Sel, qs)
+		sub, err := e.planSelect(r.Sel, snap, qs)
 		if err != nil {
 			return planNode{}, err
 		}
@@ -181,11 +182,11 @@ func (e *Engine) planRef(ref sqlparser.TableRef, qs *querySpill) (planNode, erro
 		return planNode{op: &renameOp{child: sub.root, schema: schema}, est: sub.est}, nil
 
 	case *sqlparser.JoinRef:
-		left, err := e.planRef(r.Left, qs)
+		left, err := e.planRef(r.Left, snap, qs)
 		if err != nil {
 			return planNode{}, err
 		}
-		right, err := e.planRef(r.Right, qs)
+		right, err := e.planRef(r.Right, snap, qs)
 		if err != nil {
 			return planNode{}, err
 		}

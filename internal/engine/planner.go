@@ -213,12 +213,12 @@ type classifiedConj struct {
 // WHERE. Join order is the FROM order — reordering inputs would change
 // output order, which the planner never does; only the build side within a
 // step is chosen by size (see buildJoinOp).
-func (e *Engine) planFromWhere(refs []sqlparser.TableRef, where sqlparser.Expr, qs *querySpill) (planNode, error) {
+func (e *Engine) planFromWhere(refs []sqlparser.TableRef, where sqlparser.Expr, snap *Snapshot, qs *querySpill) (planNode, error) {
 	nodes := make([]planNode, len(refs))
 	offsets := make([]int, len(refs)+1)
 	var full []relCol
 	for i, ref := range refs {
-		n, err := e.planRef(ref, qs)
+		n, err := e.planRef(ref, snap, qs)
 		if err != nil {
 			return planNode{}, err
 		}

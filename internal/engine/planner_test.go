@@ -32,9 +32,7 @@ func planFor(t *testing.T, e *Engine, sql string) *queryPlan {
 	}
 	qs := e.newQuerySpill()
 	defer qs.close()
-	e.execMu.RLock()
-	defer e.execMu.RUnlock()
-	pl, err := e.planSelect(sel, qs)
+	pl, err := e.planSelect(sel, e.PinSnapshot(), qs)
 	if err != nil {
 		t.Fatalf("plan %s: %v", sql, err)
 	}

@@ -77,24 +77,29 @@ func tableSchema(t *storage.Table, alias string) []relCol {
 	)
 }
 
-// scanTable materialises a stored table as a relation under the alias
-// (copying every row value into the snapshot). The streaming SELECT path
-// uses scanOp instead; this remains for UPDATE, which needs a stable
-// snapshot to evaluate SET expressions against while it rewrites columns.
-func scanTable(t *storage.Table, alias string) *relation {
+// scanVersion materialises one pinned version of a stored table as a
+// relation under the alias. The streaming SELECT path uses scanOp instead;
+// this remains for UPDATE, which needs a stable row set to evaluate SET
+// expressions against while it builds the replacement columns.
+func scanVersion(t *storage.Table, v *storage.Version, alias string) *relation {
 	rel := &relation{cols: tableSchema(t, alias)}
 	width := len(t.Schema.Columns)
-	rel.rows = make([]types.Row, t.NumRows())
-	for i := 0; i < t.NumRows(); i++ {
+	rel.rows = make([]types.Row, v.NumRows())
+	for i := 0; i < v.NumRows(); i++ {
 		row := make(types.Row, width+2)
 		for c := 0; c < width; c++ {
-			row[c] = t.Cols[c][i]
+			row[c] = v.Cols[c][i]
 		}
-		row[width] = types.NewShare(t.RowEnc[i])
-		row[width+1] = types.NewShare(t.Helper[i])
+		row[width] = types.NewShare(v.RowEnc[i])
+		row[width+1] = types.NewShare(v.Helper[i])
 		rel.rows[i] = row
 	}
 	return rel
+}
+
+// scanTable materialises the table's newest published version.
+func scanTable(t *storage.Table, alias string) *relation {
+	return scanVersion(t, t.Load(), alias)
 }
 
 // splitConjuncts flattens an AND tree into its conjuncts.

@@ -93,14 +93,18 @@ func (s *Stmt) Query(ctx context.Context) (RowIterator, error) {
 		return nil, err
 	}
 	if sel, ok := s.stmt.(*sqlparser.Select); ok {
-		// The read lock spans planning only: every scan in the tree
-		// snapshots its table's immutable column arrays (UPDATE swaps them
-		// copy-on-write), so the returned iterator executes lock-free and
-		// concurrent writers are not starved by open cursors.
-		s.e.execMu.RLock()
-		defer s.e.execMu.RUnlock()
+		// Pin one catalog snapshot for the whole statement: every scan in
+		// the tree reads that snapshot's immutable versions, so the
+		// returned iterator executes lock-free and concurrent writers are
+		// not starved by open cursors — even long-lived ones. In legacy
+		// lock mode the read lock additionally spans planning, restoring
+		// the pre-MVCC reader/writer exclusion for differential runs.
+		if s.e.mvccOff {
+			s.e.execMu.RLock()
+			defer s.e.execMu.RUnlock()
+		}
 		qs := s.e.newQuerySpill()
-		pl, err := s.e.planSelect(sel, qs)
+		pl, err := s.e.planSelect(sel, s.e.PinSnapshot(), qs)
 		if err != nil {
 			qs.close()
 			return nil, err

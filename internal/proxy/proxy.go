@@ -133,6 +133,37 @@ func (p *Proxy) seedGenerations() {
 	}
 }
 
+// bumpCatGen / bumpRotGen advance the plan-cache generation stamps after a
+// write the SP confirmed. When the executor exposes its committed
+// generations (an in-process engine does), the proxy adopts them: under
+// MVCC, concurrent sessions commit through one serial history at the
+// engine, and adopting that counter keeps every proxy's stamps consistent
+// with it. CAS-max (rather than a plain store) keeps the local counter
+// monotonic when an older read of the engine's counter loses the race.
+// A remote executor that exposes nothing falls back to local counting.
+func (p *Proxy) bumpCatGen() { p.bumpGens(&p.catGen) }
+
+func (p *Proxy) bumpRotGen() { p.bumpGens(&p.rotGen) }
+
+func (p *Proxy) bumpGens(local *atomic.Uint64) {
+	if g, ok := p.exec.(interface{ Generations() (uint64, uint64) }); ok {
+		rot, cat := g.Generations()
+		casMax(&p.rotGen, rot)
+		casMax(&p.catGen, cat)
+		return
+	}
+	local.Add(1)
+}
+
+func casMax(c *atomic.Uint64, v uint64) {
+	for {
+		cur := c.Load()
+		if cur >= v || c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // buildPlanCache resolves the cache size knob: negative disables, zero
 // takes the default unless SDB_PLANNER turns the planner stack off for the
 // whole process (the differential suites rely on that to run the naive
@@ -255,7 +286,6 @@ func (p *Proxy) execCreate(ctx context.Context, s *sqlparser.CreateTable, st Sta
 		p.store.Delete(s.Name)
 		return nil, err
 	}
-	p.catGen.Add(1)
 	st.Rewrite = time.Since(t0)
 
 	t1 := time.Now()
@@ -264,6 +294,9 @@ func (p *Proxy) execCreate(ctx context.Context, s *sqlparser.CreateTable, st Sta
 		p.persistState()
 		return nil, err
 	}
+	// Bump only after the SP confirms: generation adoption reads the
+	// engine's committed counters, which advance at statement commit.
+	p.bumpCatGen()
 	st.Server = time.Since(t1)
 	st.RewrittenSQL = spStmt.String()
 	return &Result{Stats: st}, nil
@@ -290,7 +323,7 @@ func (p *Proxy) execDrop(ctx context.Context, s *sqlparser.DropTable, st Stats) 
 	if err := p.persistState(); err != nil {
 		return nil, err
 	}
-	p.catGen.Add(1)
+	p.bumpCatGen()
 	st.RewrittenSQL = s.String()
 	return &Result{Stats: st}, nil
 }
@@ -346,7 +379,7 @@ func (p *Proxy) execInsert(ctx context.Context, s *sqlparser.Insert, st Stats) (
 	if _, err := p.exec.ExecuteSQL(out.String()); err != nil {
 		return nil, err
 	}
-	p.catGen.Add(1)
+	p.bumpCatGen()
 	st.Server = time.Since(t1)
 	st.RewrittenSQL = out.String()
 	return &Result{Stats: st}, nil

@@ -83,8 +83,9 @@ func TestUploadStoresOnlyShares(t *testing.T) {
 		t.Fatal(err)
 	}
 	balIdx := tbl.Schema.Find("balance")
-	for i := 0; i < tbl.NumRows(); i++ {
-		v := tbl.Cols[balIdx][i]
+	ver := tbl.Load()
+	for i := 0; i < ver.NumRows(); i++ {
+		v := ver.Cols[balIdx][i]
 		if v.K != types.KindShare {
 			t.Fatalf("row %d: balance stored as %s, not a share", i, v.K)
 		}

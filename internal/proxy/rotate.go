@@ -65,7 +65,7 @@ func (p *Proxy) RotateColumn(table, column string) (Stats, error) {
 	// Only after the server confirms do we swap the key — and bump the
 	// rotation generation so prepared statements re-derive their tokens.
 	meta.Keys[strings.ToLower(column)] = newKey
-	p.rotGen.Add(1)
+	p.bumpRotGen()
 	// Persist immediately: once the SP holds re-keyed shares, the new key
 	// is the only thing that can decrypt them (see docs/storage.md on the
 	// crash window between the server's commit and this write).
@@ -116,7 +116,7 @@ func (p *Proxy) RotateMask(table string) (Stats, error) {
 	}
 	st.Server = time.Since(t1)
 	meta.MaskKey = newKey
-	p.rotGen.Add(1)
+	p.bumpRotGen()
 	if err := p.persistState(); err != nil {
 		return st, err
 	}

@@ -17,9 +17,10 @@ func TestRotateColumn(t *testing.T) {
 		t.Fatal(err)
 	}
 	balIdx := tbl.Schema.Find("balance")
-	before := make([]*big.Int, tbl.NumRows())
+	ver := tbl.Load()
+	before := make([]*big.Int, ver.NumRows())
 	for i := range before {
-		before[i] = new(big.Int).Set(tbl.Cols[balIdx][i].B)
+		before[i] = new(big.Int).Set(ver.Cols[balIdx][i].B)
 	}
 	meta, _ := p.KeyStore().Get("accounts")
 	oldKey, _ := meta.Key("balance")
@@ -32,9 +33,11 @@ func TestRotateColumn(t *testing.T) {
 		t.Errorf("rotation SQL: %s", st.RewrittenSQL)
 	}
 
-	// Every stored share must have changed…
+	// Every stored share must have changed (rotation published a new
+	// version; the pre-rotation one pinned above is untouched)…
+	after := tbl.Load()
 	for i := range before {
-		if tbl.Cols[balIdx][i].B.Cmp(before[i]) == 0 {
+		if after.Cols[balIdx][i].B.Cmp(before[i]) == 0 {
 			t.Fatalf("row %d share unchanged after rotation", i)
 		}
 	}

@@ -26,9 +26,12 @@ type Generations struct {
 // after the apply, so an automatic checkpoint always snapshots a state
 // that includes every logged record.
 //
-// All methods are invoked under the engine's statement write lock: at most
-// one call is in flight at a time, and the catalog is quiescent for the
-// duration (checkpoints may read table columns without synchronization).
+// All methods are invoked under the engine's commit lock: at most one call
+// is in flight at a time, and the published version set is quiescent for
+// the duration — no writer can publish until the commit lock is released,
+// so checkpoints may read every table's current version without further
+// synchronization. (Readers are never excluded: they stream pinned
+// immutable versions.)
 //
 // A nil Durability — the default everywhere — is the in-memory deployment:
 // the engine skips every hook and behaves byte-identically to the

@@ -3,6 +3,16 @@
 // for sensitive columns, and the two per-row SDB auxiliaries — the
 // SIES-encrypted row id and the row helper w = g^r mod n (see
 // internal/secure). The storage layer never sees key material.
+//
+// Tables are multi-versioned: each table holds one published, immutable
+// Version of its column data behind an atomic pointer. Readers pin a
+// version with one atomic load and stream it lock-free forever after;
+// writers serialize per table (LockWriter), build the next version off to
+// the side, and publish it with one atomic swap. Version construction
+// reuses backing arrays where safe — appends write only past the newest
+// published length, which no pinned version can reach, and column swaps
+// replace whole column slices — so building version N+1 costs O(delta),
+// not O(table).
 package storage
 
 import (
@@ -11,16 +21,21 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sdb/internal/types"
 )
 
-// Table holds rows column-wise. Sensitive columns contain KindShare values;
-// insensitive columns contain plaintext values.
-type Table struct {
-	Name   string
-	Schema types.Schema
-
+// Version is one immutable published state of a table's data. All slices
+// are frozen at publish time: readers may hold a Version indefinitely and
+// index it without synchronization. Later versions may share backing
+// arrays with earlier ones (appends land past every published length), but
+// no published element is ever overwritten.
+type Version struct {
+	// Gen counts publishes on this table, starting at 0 for the empty
+	// version a new table is born with. It orders versions of one table;
+	// cross-table ordering comes from the engine's catalog snapshot.
+	Gen uint64
 	// RowEnc[i] is the SIES-encrypted row id of row i (opaque to the SP).
 	RowEnc []*big.Int
 	// Helper[i] is w = g^r mod n for row i; tokens exponentiate it.
@@ -29,22 +44,94 @@ type Table struct {
 	Cols [][]types.Value
 }
 
-// NewTable creates an empty table with the given schema.
-func NewTable(name string, schema types.Schema) *Table {
-	return &Table{
-		Name:   name,
-		Schema: schema,
-		Cols:   make([][]types.Value, schema.Len()),
+// NumRows returns the version's row count.
+func (v *Version) NumRows() int { return len(v.RowEnc) }
+
+// RowAt materialises row i of the version (copy).
+func (v *Version) RowAt(i int) types.Row {
+	row := make(types.Row, len(v.Cols))
+	for c := range v.Cols {
+		row[c] = v.Cols[c][i]
 	}
+	return row
 }
 
-// NumRows returns the row count.
-func (t *Table) NumRows() int { return len(t.RowEnc) }
+// Table holds rows column-wise. Sensitive columns contain KindShare values;
+// insensitive columns contain plaintext values. The data lives in an
+// atomically-swapped immutable Version; Name and Schema are fixed at
+// creation.
+type Table struct {
+	Name   string
+	Schema types.Schema
 
-// Append adds one row. For tables with sensitive columns, rowEnc and helper
-// must be non-nil; insensitive-only tables may pass nils and get zero
-// placeholders.
-func (t *Table) Append(row types.Row, rowEnc, helper *big.Int) error {
+	// writeMu serializes writers of this table: hold it across build and
+	// publish of the next version (LockWriter/UnlockWriter, or the
+	// convenience Append/AppendBatch/SwapCols wrappers).
+	writeMu sync.Mutex
+	// cur is the published version; never nil after construction.
+	cur atomic.Pointer[Version]
+	// dropped flips once when a DROP commits. The table object stays
+	// readable for cursors pinned before the drop; writers must re-check
+	// it before committing so a statement racing a drop cannot publish
+	// (or log) against a name that may since have been re-created.
+	dropped atomic.Bool
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema types.Schema) *Table {
+	t := &Table{Name: name, Schema: schema}
+	t.cur.Store(&Version{Cols: make([][]types.Value, schema.Len())})
+	return t
+}
+
+// NewTableWithData creates a table whose first published version carries
+// the given data (snapshot recovery and bulk-build paths). The slices are
+// adopted, not copied — the caller must not retain mutable references.
+func NewTableWithData(name string, schema types.Schema, rowEnc, helper []*big.Int, cols [][]types.Value) (*Table, error) {
+	if len(cols) != schema.Len() {
+		return nil, fmt.Errorf("storage: table %q: %d columns for schema arity %d", name, len(cols), schema.Len())
+	}
+	n := len(rowEnc)
+	if len(helper) != n {
+		return nil, fmt.Errorf("storage: table %q: %d helpers for %d rows", name, len(helper), n)
+	}
+	for c, col := range cols {
+		if len(col) != n {
+			return nil, fmt.Errorf("storage: table %q: column %d has %d values for %d rows", name, c, len(col), n)
+		}
+	}
+	t := &Table{Name: name, Schema: schema}
+	t.cur.Store(&Version{RowEnc: rowEnc, Helper: helper, Cols: cols})
+	return t, nil
+}
+
+// Load pins the published version: one atomic read, immutable result.
+func (t *Table) Load() *Version { return t.cur.Load() }
+
+// NumRows returns the published version's row count.
+func (t *Table) NumRows() int { return t.cur.Load().NumRows() }
+
+// RowAt materialises row i of the published version (copy).
+func (t *Table) RowAt(i int) types.Row { return t.cur.Load().RowAt(i) }
+
+// LockWriter serializes this table's writers. Hold it across building the
+// next version (AppendLocked/SwapColsLocked) and publishing it
+// (PublishLocked); readers never take it.
+func (t *Table) LockWriter() { t.writeMu.Lock() }
+
+// UnlockWriter releases the writer lock.
+func (t *Table) UnlockWriter() { t.writeMu.Unlock() }
+
+// Dropped reports whether a DROP has committed against this table object.
+func (t *Table) Dropped() bool { return t.dropped.Load() }
+
+// MarkDropped flips the dropped flag (called by the engine when a DROP
+// commits, under its commit lock).
+func (t *Table) MarkDropped() { t.dropped.Store(true) }
+
+// validateRow checks one row against the schema (arity and
+// sensitive/insensitive kind discipline).
+func (t *Table) validateRow(row types.Row) error {
 	if len(row) != t.Schema.Len() {
 		return fmt.Errorf("storage: row arity %d != schema arity %d", len(row), t.Schema.Len())
 	}
@@ -58,27 +145,107 @@ func (t *Table) Append(row types.Row, rowEnc, helper *big.Int) error {
 			return fmt.Errorf("storage: column %q is insensitive; got a share", col.Name)
 		}
 	}
-	if rowEnc == nil {
-		rowEnc = new(big.Int)
-	}
-	if helper == nil {
-		helper = new(big.Int)
-	}
-	t.RowEnc = append(t.RowEnc, rowEnc)
-	t.Helper = append(t.Helper, helper)
-	for i := range t.Cols {
-		t.Cols[i] = append(t.Cols[i], row[i])
-	}
 	return nil
 }
 
-// RowAt materialises row i (copy).
-func (t *Table) RowAt(i int) types.Row {
-	row := make(types.Row, len(t.Cols))
-	for c := range t.Cols {
-		row[c] = t.Cols[c][i]
+// AppendLocked validates rows and builds — without publishing — the next
+// version with them appended. The caller must hold the writer lock and
+// either publish the result (PublishLocked) or abandon it. rowEnc/helper
+// entries may be nil for insensitive-only tables (zero placeholders).
+// Backing arrays are shared with the current version: new rows land past
+// its length, which no published version can see.
+func (t *Table) AppendLocked(rows []types.Row, rowEnc, helper []*big.Int) (*Version, error) {
+	cur := t.cur.Load()
+	next := &Version{
+		RowEnc: cur.RowEnc,
+		Helper: cur.Helper,
+		Cols:   append([][]types.Value(nil), cur.Cols...),
 	}
-	return row
+	for i, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return nil, err
+		}
+		enc, help := big.NewInt(0), big.NewInt(0)
+		if i < len(rowEnc) && rowEnc[i] != nil {
+			enc = rowEnc[i]
+		}
+		if i < len(helper) && helper[i] != nil {
+			help = helper[i]
+		}
+		next.RowEnc = append(next.RowEnc, enc)
+		next.Helper = append(next.Helper, help)
+		for c := range next.Cols {
+			next.Cols[c] = append(next.Cols[c], row[c])
+		}
+	}
+	return next, nil
+}
+
+// SwapColsLocked validates the replacement columns and builds — without
+// publishing — the next version with them swapped in (copy-on-write
+// UPDATE). The caller must hold the writer lock.
+func (t *Table) SwapColsLocked(cols map[int][]types.Value) (*Version, error) {
+	cur := t.cur.Load()
+	n := cur.NumRows()
+	for idx, col := range cols {
+		if idx < 0 || idx >= len(cur.Cols) {
+			return nil, fmt.Errorf("storage: table %q: column index %d out of range", t.Name, idx)
+		}
+		if len(col) != n {
+			return nil, fmt.Errorf("storage: table %q: column %d has %d values for %d rows", t.Name, idx, len(col), n)
+		}
+	}
+	next := &Version{
+		RowEnc: cur.RowEnc,
+		Helper: cur.Helper,
+		Cols:   append([][]types.Value(nil), cur.Cols...),
+	}
+	for idx, col := range cols {
+		next.Cols[idx] = col
+	}
+	return next, nil
+}
+
+// PublishLocked makes v the table's published version, stamping it as the
+// next generation. The caller must hold the writer lock and must have
+// built v from the currently published version.
+func (t *Table) PublishLocked(v *Version) {
+	v.Gen = t.cur.Load().Gen + 1
+	t.cur.Store(v)
+}
+
+// Append adds one row: lock, build, publish. For tables with sensitive
+// columns, rowEnc and helper must be non-nil; insensitive-only tables may
+// pass nils and get zero placeholders.
+func (t *Table) Append(row types.Row, rowEnc, helper *big.Int) error {
+	return t.AppendBatch([]types.Row{row}, []*big.Int{rowEnc}, []*big.Int{helper})
+}
+
+// AppendBatch adds rows as one atomic publish: readers observe all of them
+// or none.
+func (t *Table) AppendBatch(rows []types.Row, rowEnc, helper []*big.Int) error {
+	t.LockWriter()
+	defer t.UnlockWriter()
+	next, err := t.AppendLocked(rows, rowEnc, helper)
+	if err != nil {
+		return err
+	}
+	t.PublishLocked(next)
+	return nil
+}
+
+// SwapCols replaces whole columns as one atomic publish (WAL replay of
+// UPDATE records; the engine's statement path uses the locked variants so
+// it can interleave logging with the publish).
+func (t *Table) SwapCols(cols map[int][]types.Value) error {
+	t.LockWriter()
+	defer t.UnlockWriter()
+	next, err := t.SwapColsLocked(cols)
+	if err != nil {
+		return err
+	}
+	t.PublishLocked(next)
+	return nil
 }
 
 // Catalog is the SP's table namespace. It is safe for concurrent use.
@@ -144,8 +311,8 @@ func (c *Catalog) Names() []string {
 }
 
 // Tables returns the tables sorted by name. The slice is a snapshot; the
-// *Table pointers are live. Checkpoints iterate it while the caller
-// guarantees no concurrent writer (see Durability).
+// *Table pointers are live — read their data through Load so each table
+// contributes one consistent published version.
 func (c *Catalog) Tables() []*Table {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

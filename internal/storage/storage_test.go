@@ -32,8 +32,75 @@ func TestAppendAndRowAt(t *testing.T) {
 	if got[0].I != 1 || got[1].B.Int64() != 99 {
 		t.Errorf("row: %v", got)
 	}
-	if tbl.RowEnc[0].Int64() != 7 || tbl.Helper[0].Int64() != 8 {
+	v := tbl.Load()
+	if v.RowEnc[0].Int64() != 7 || v.Helper[0].Int64() != 8 {
 		t.Error("auxiliaries not stored")
+	}
+	if v.Gen != 1 {
+		t.Errorf("generation after one append = %d, want 1", v.Gen)
+	}
+}
+
+// TestVersionImmutability pins the MVCC contract: a pinned version is
+// unaffected by later appends and column swaps, each publish bumps the
+// generation exactly once, and an append batch is all-or-nothing.
+func TestVersionImmutability(t *testing.T) {
+	tbl := NewTable("t", testSchema(t))
+	if err := tbl.Append(types.Row{types.NewInt(1), types.NewShare(big.NewInt(10))}, big.NewInt(1), big.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	pinned := tbl.Load()
+
+	if err := tbl.AppendBatch(
+		[]types.Row{
+			{types.NewInt(2), types.NewShare(big.NewInt(20))},
+			{types.NewInt(3), types.NewShare(big.NewInt(30))},
+		},
+		[]*big.Int{big.NewInt(2), big.NewInt(3)},
+		[]*big.Int{big.NewInt(2), big.NewInt(3)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SwapCols(map[int][]types.Value{
+		0: {types.NewInt(100), types.NewInt(200), types.NewInt(300)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if pinned.NumRows() != 1 || pinned.Cols[0][0].I != 1 {
+		t.Errorf("pinned version changed under writes: %d rows, id=%v", pinned.NumRows(), pinned.Cols[0][0])
+	}
+	cur := tbl.Load()
+	if cur.Gen != 3 {
+		t.Errorf("generation after three publishes = %d, want 3", cur.Gen)
+	}
+	if cur.NumRows() != 3 || cur.Cols[0][2].I != 300 {
+		t.Errorf("current version wrong: %d rows, id[2]=%v", cur.NumRows(), cur.Cols[0][2])
+	}
+
+	// A failed batch publishes nothing.
+	before := tbl.Load()
+	err := tbl.AppendBatch(
+		[]types.Row{
+			{types.NewInt(4), types.NewShare(big.NewInt(40))},
+			{types.NewInt(5), types.NewInt(50)}, // plaintext in sensitive col
+		},
+		[]*big.Int{big.NewInt(4), big.NewInt(5)},
+		[]*big.Int{big.NewInt(4), big.NewInt(5)},
+	)
+	if err == nil {
+		t.Fatal("invalid batch row accepted")
+	}
+	if got := tbl.Load(); got != before {
+		t.Error("failed batch published a version")
+	}
+
+	// Swap validation: bad index and bad length are both refused.
+	if err := tbl.SwapCols(map[int][]types.Value{7: {}}); err == nil {
+		t.Error("out-of-range column swap accepted")
+	}
+	if err := tbl.SwapCols(map[int][]types.Value{0: {types.NewInt(1)}}); err == nil {
+		t.Error("short column swap accepted")
 	}
 }
 

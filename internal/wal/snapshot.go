@@ -36,19 +36,20 @@ func writeSnapshot(dir, name string, t *storage.Table) error {
 	if err := writeSchema(w, t.Schema); err != nil {
 		return err
 	}
-	n := t.NumRows()
+	v := t.Load()
+	n := v.NumRows()
 	if err := w.WriteUvarint(uint64(n)); err != nil {
 		return err
 	}
 	for i := 0; i < n; i++ {
-		if err := w.WriteBig(t.RowEnc[i]); err != nil {
+		if err := w.WriteBig(v.RowEnc[i]); err != nil {
 			return err
 		}
-		if err := w.WriteBig(t.Helper[i]); err != nil {
+		if err := w.WriteBig(v.Helper[i]); err != nil {
 			return err
 		}
 	}
-	for _, col := range t.Cols {
+	for _, col := range v.Cols {
 		if len(col) != n {
 			return fmt.Errorf("wal: snapshot of %q: column length %d != row count %d", t.Name, len(col), n)
 		}
@@ -104,25 +105,29 @@ func readSnapshot(path string) (*storage.Table, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("wal: %s: implausible snapshot row count %d", path, n)
 	}
-	t := storage.NewTable(name, schema)
-	t.RowEnc = make([]*big.Int, n)
-	t.Helper = make([]*big.Int, n)
-	for i := range t.RowEnc {
-		if t.RowEnc[i], err = rd.ReadBig(); err != nil {
+	rowEnc := make([]*big.Int, n)
+	helper := make([]*big.Int, n)
+	for i := range rowEnc {
+		if rowEnc[i], err = rd.ReadBig(); err != nil {
 			return nil, fmt.Errorf("wal: %s: snapshot row id: %w", path, err)
 		}
-		if t.Helper[i], err = rd.ReadBig(); err != nil {
+		if helper[i], err = rd.ReadBig(); err != nil {
 			return nil, fmt.Errorf("wal: %s: snapshot helper: %w", path, err)
 		}
 	}
-	for c := range t.Cols {
+	cols := make([][]types.Value, len(schema.Columns))
+	for c := range cols {
 		col := make([]types.Value, n)
 		for i := range col {
 			if col[i], err = rd.ReadValue(); err != nil {
 				return nil, fmt.Errorf("wal: %s: snapshot value: %w", path, err)
 			}
 		}
-		t.Cols[c] = col
+		cols[c] = col
+	}
+	t, err := storage.NewTableWithData(name, schema, rowEnc, helper, cols)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
 	}
 	return t, nil
 }

@@ -571,30 +571,13 @@ func (s *Store) apply(rec *Record) error {
 		if err != nil {
 			return err
 		}
-		for i, row := range rec.Rows {
-			if err := t.Append(row, rec.RowEnc[i], rec.Helper[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return t.AppendBatch(rec.Rows, rec.RowEnc, rec.Helper)
 	case recUpdate:
 		t, err := s.cat.Get(rec.Table)
 		if err != nil {
 			return err
 		}
-		n := t.NumRows()
-		for idx, col := range rec.Cols {
-			if idx < 0 || idx >= len(t.Cols) {
-				return fmt.Errorf("column index %d out of range", idx)
-			}
-			if len(col) != n {
-				return fmt.Errorf("column %d: %d values for %d rows", idx, len(col), n)
-			}
-		}
-		for idx, col := range rec.Cols {
-			t.Cols[idx] = col
-		}
-		return nil
+		return t.SwapCols(rec.Cols)
 	case recDrop:
 		return s.cat.Drop(rec.Table)
 	default:

@@ -4,7 +4,10 @@
 # the streaming cursor pipeline, the parallel spilled-partition scheduler
 # and the bigmod fixed-base cache are exercised by dedicated concurrency
 # tests), a forced-tiny-budget spill regression pass, a planner-off
-# differential pass, a race-detected concurrent spill pass, a
+# differential pass, an MVCC-off lock-mode differential pass, a
+# race-detected MVCC isolation pass (torn-read, no-stall,
+# prefix-consistency and randomized mixed-workload harnesses), a
+# race-detected concurrent spill pass, a
 # race-detected crash-recovery/durability pass (kill-point differential
 # harness + SIGKILL subprocess test), a race-detected Montgomery-core
 # pass (shared MontCtx / TokenApplier under concurrent workers), a
@@ -86,6 +89,27 @@ echo "== engine suite with the planner pass disabled"
 # assert planner-produced plan shapes pin Options.Planner explicitly and
 # are unaffected by the env override.
 SDB_PLANNER=off go test ${SHORT_FLAG} ./internal/engine
+
+echo "== engine suite with MVCC snapshot reads disabled"
+# Re-run the engine suite with SDB_MVCC=off: writers take the legacy
+# engine-wide statement lock and readers share it during planning. The
+# snapshot machinery still runs underneath — MVCC only changes who waits,
+# never what a statement returns — so every engine test doubles as a
+# lock-mode differential. Tests that need MVCC semantics (torn-read /
+# no-stall harnesses) pin Options.MVCC explicitly and are unaffected.
+SDB_MVCC=off go test ${SHORT_FLAG} ./internal/engine
+
+echo "== MVCC isolation harness under the race detector"
+# The snapshot-isolation proof suite with the race detector on and fresh
+# interleavings (-count=1): torn-read detection across the direct,
+# cursor and served (v1 stream + v2 fused) read paths, the no-stall test
+# (a SELECT must complete while a bulk write is held mid-commit), the
+# prefix-consistency join test, the 100+-seed randomized mixed-workload
+# differential (readers may only observe states of the writer's serial
+# history, in order), and the serving-layer mixed storm (readers stream
+# decrypted rows while keys rotate and bulk inserts land).
+go test -race -count=1 ${SHORT_FLAG} -run 'Snapshot|Mixed|MVCC' \
+  ./internal/engine ./internal/server
 
 echo "== concurrent spill suite under the race detector"
 # The spill differential and parallel-schedule suites again, with the
